@@ -1,0 +1,173 @@
+package intracache
+
+// Helper for BenchmarkAblationDRAMModel: the experiment package's
+// Compare always uses the flat latency model, so the banked variant
+// builds its two runs directly against the simulator.
+
+import (
+	"intracache/internal/cache"
+	"intracache/internal/core"
+	"intracache/internal/experiment"
+	"intracache/internal/mem"
+	"intracache/internal/sim"
+	"intracache/internal/trace"
+	"intracache/internal/workload"
+)
+
+// compareWithDRAM runs prof under shared and model-based policies with
+// the banked DRAM model attached and returns the improvement percent.
+func compareWithDRAM(cfg experiment.Config, prof workload.Profile) (float64, error) {
+	wall := func(pol core.Policy) (uint64, error) {
+		gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		ctl, _, err := core.ControllerFor(pol)
+		if err != nil {
+			return 0, err
+		}
+		dram := mem.DefaultConfig()
+		p := sim.Params{
+			NumThreads: cfg.NumThreads,
+			L1: cache.Config{
+				SizeBytes: cfg.L1KB * 1024, Ways: cfg.L1Ways,
+				LineBytes: cfg.LineBytes, NumThreads: 1,
+			},
+			L2: cache.Config{
+				SizeBytes: cfg.L2KB * 1024, Ways: cfg.L2Ways,
+				LineBytes: cfg.LineBytes, NumThreads: cfg.NumThreads,
+			},
+			L2Org:                core.L2OrgFor(pol),
+			BaseCycles:           cfg.BaseCycles,
+			L2HitCycles:          cfg.L2HitCycles,
+			MemCycles:            cfg.MemCycles,
+			SectionInstructions:  cfg.SectionInstructions,
+			IntervalInstructions: cfg.IntervalInstructions,
+			DRAM:                 &dram,
+		}
+		s, err := sim.New(p, trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+		if err != nil {
+			return 0, err
+		}
+		return s.RunSections(cfg.Sections).WallCycles, nil
+	}
+	base, err := wall(core.PolicyShared)
+	if err != nil {
+		return 0, err
+	}
+	dyn, err := wall(core.PolicyModelBased)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (float64(base) - float64(dyn)) / float64(base), nil
+}
+
+// compareMechanisms runs prof under model-based partitioning with both
+// enforcement mechanisms (paper Sec. V eviction control vs CAT-style
+// way masks) and returns each one's improvement over the shared cache.
+func compareMechanisms(cfg experiment.Config, prof workload.Profile) (evict, mask float64, err error) {
+	wall := func(pol core.Policy, useMask bool) (uint64, error) {
+		gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		ctl, _, err := core.ControllerFor(pol)
+		if err != nil {
+			return 0, err
+		}
+		p := sim.Params{
+			NumThreads: cfg.NumThreads,
+			L1: cache.Config{
+				SizeBytes: cfg.L1KB * 1024, Ways: cfg.L1Ways,
+				LineBytes: cfg.LineBytes, NumThreads: 1,
+			},
+			L2: cache.Config{
+				SizeBytes: cfg.L2KB * 1024, Ways: cfg.L2Ways,
+				LineBytes: cfg.LineBytes, NumThreads: cfg.NumThreads,
+			},
+			L2Org:                core.L2OrgFor(pol),
+			MaskPartitioning:     useMask,
+			BaseCycles:           cfg.BaseCycles,
+			L2HitCycles:          cfg.L2HitCycles,
+			MemCycles:            cfg.MemCycles,
+			SectionInstructions:  cfg.SectionInstructions,
+			IntervalInstructions: cfg.IntervalInstructions,
+		}
+		s, err := sim.New(p, trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+		if err != nil {
+			return 0, err
+		}
+		return s.RunSections(cfg.Sections).WallCycles, nil
+	}
+	base, err := wall(core.PolicyShared, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	ev, err := wall(core.PolicyModelBased, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	mk, err := wall(core.PolicyModelBased, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	imp := func(c uint64) float64 { return 100 * (float64(base) - float64(c)) / float64(base) }
+	return imp(ev), imp(mk), nil
+}
+
+// compareHybridTADIP returns the improvements over the shared cache of
+// (a) pure TADIP, (b) pure model-based partitioning, and (c) the hybrid
+// (model-based partitioning with TADIP insertion inside partitions).
+func compareHybridTADIP(cfg experiment.Config, prof workload.Profile) (tadip, model, hybrid float64, err error) {
+	wall := func(pol core.Policy, tadipInsert bool) (uint64, error) {
+		gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		ctl, _, err := core.ControllerFor(pol)
+		if err != nil {
+			return 0, err
+		}
+		p := sim.Params{
+			NumThreads: cfg.NumThreads,
+			L1: cache.Config{
+				SizeBytes: cfg.L1KB * 1024, Ways: cfg.L1Ways,
+				LineBytes: cfg.LineBytes, NumThreads: 1,
+			},
+			L2: cache.Config{
+				SizeBytes: cfg.L2KB * 1024, Ways: cfg.L2Ways,
+				LineBytes: cfg.LineBytes, NumThreads: cfg.NumThreads,
+			},
+			L2Org:                core.L2OrgFor(pol),
+			TADIPInsertion:       tadipInsert,
+			BaseCycles:           cfg.BaseCycles,
+			L2HitCycles:          cfg.L2HitCycles,
+			MemCycles:            cfg.MemCycles,
+			SectionInstructions:  cfg.SectionInstructions,
+			IntervalInstructions: cfg.IntervalInstructions,
+		}
+		s, err := sim.New(p, trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+		if err != nil {
+			return 0, err
+		}
+		return s.RunSections(cfg.Sections).WallCycles, nil
+	}
+	base, err := wall(core.PolicyShared, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	imp := func(c uint64) float64 { return 100 * (float64(base) - float64(c)) / float64(base) }
+	td, err := wall(core.PolicyTADIP, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mb, err := wall(core.PolicyModelBased, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hy, err := wall(core.PolicyModelBased, true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return imp(td), imp(mb), imp(hy), nil
+}

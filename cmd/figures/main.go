@@ -1,0 +1,410 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Figs. 2-10, 15, 18-22) in text form, using the drivers in
+// internal/experiment and the renderers in internal/report.
+//
+// Usage:
+//
+//	figures            # all figures at default (paper-shaped) scale
+//	figures -fig 19    # a single figure
+//	figures -quick     # reduced scale (seconds instead of minutes)
+//	figures -seed 7    # different workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"intracache/internal/core"
+	"intracache/internal/experiment"
+	"intracache/internal/report"
+	"intracache/internal/svg"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2-10, 15, 18-22 or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	seed := flag.Uint64("seed", 42, "workload random seed")
+	intervals := flag.Int("intervals", 0, "override interval count (0 = default)")
+	sections := flag.Int("sections", 0, "override section count (0 = default)")
+	seeds := flag.Int("seeds", 1, "replicate the comparison figures (19-21) over N seeds and report mean ± 95% CI")
+	svgOut := flag.String("svg", "", "also write each chart figure as an SVG file into this directory")
+	flag.Parse()
+	seedReplicates = *seeds
+	svgDir = *svgOut
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiment.DefaultConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+		cfg.Intervals = 16
+		cfg.Sections = 20
+	}
+	cfg.Seed = *seed
+	if *intervals > 0 {
+		cfg.Intervals = *intervals
+	}
+	if *sections > 0 {
+		cfg.Sections = *sections
+	}
+
+	all := map[string]func(experiment.Config) error{
+		"2": fig2, "3": fig3, "4": fig4, "5": fig5, "6": fig6, "7": fig7,
+		"8": fig8, "9": fig9, "10": fig10, "15": fig15, "18": fig18,
+		"19": fig19, "20": fig20, "21": fig21, "22": fig22,
+	}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "15", "18", "19", "20", "21", "22"}
+
+	run := func(id string) {
+		f, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q (have %s)\n", id, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		if err := f(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: fig %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	if *fig == "all" {
+		for _, id := range order {
+			run(id)
+			fmt.Println()
+		}
+		return
+	}
+	run(strings.TrimPrefix(*fig, "fig"))
+}
+
+// svgDir, when non-empty, receives an SVG rendering of each chart
+// figure alongside the text output.
+var svgDir string
+
+// writeSVG stores one figure's SVG document (no-op without -svg).
+func writeSVG(name, doc string) {
+	if svgDir == "" {
+		return
+	}
+	path := filepath.Join(svgDir, name+".svg")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("(svg written to %s)\n", path)
+}
+
+func threadLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "thread " + strconv.Itoa(i+1)
+	}
+	return out
+}
+
+// fig2 prints the system configuration table (paper Fig. 2), both the
+// paper's original values and this reproduction's scaled values.
+func fig2(cfg experiment.Config) error {
+	t := report.NewTable("Fig. 2 — system configuration (paper -> this reproduction, 1/4 capacity scale)",
+		"parameter", "paper", "reproduction")
+	t.AddRow("number of cores", "4", fmt.Sprintf("%d", cfg.NumThreads))
+	t.AddRow("number of threads", "4", fmt.Sprintf("%d", cfg.NumThreads))
+	t.AddRow("L1 cache size", "8 KB", fmt.Sprintf("%d KB", cfg.L1KB))
+	t.AddRow("L1 cache associativity", "4", fmt.Sprintf("%d", cfg.L1Ways))
+	t.AddRow("L2 cache type", "shared", "shared")
+	t.AddRow("L2 cache size", "1 MB", fmt.Sprintf("%d KB", cfg.L2KB))
+	t.AddRow("L2 cache associativity", "64", fmt.Sprintf("%d", cfg.L2Ways))
+	t.AddRow("line size", "64 B", fmt.Sprintf("%d B", cfg.LineBytes))
+	t.AddRow("execution interval", "15 M instr", fmt.Sprintf("%d instr", cfg.IntervalInstructions))
+	fmt.Print(t.String())
+	return nil
+}
+
+func fig3(cfg experiment.Config) error {
+	series, err := experiment.Fig3ThreadPerformance(cfg)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(series))
+	values := make([][]float64, len(series))
+	for i, s := range series {
+		labels[i] = s.Benchmark
+		values[i] = s.Values
+	}
+	fmt.Print(report.GroupedBars(
+		"Fig. 3 — per-thread performance normalised to the fastest thread (shared cache)",
+		labels, threadLabels(cfg.NumThreads), values, 30))
+	writeSVG("fig03-thread-performance", svg.GroupedHBars(
+		"Fig. 3 — per-thread performance (normalised)", labels, threadLabels(cfg.NumThreads), values, 720))
+	return nil
+}
+
+func fig4(cfg experiment.Config) error {
+	series, err := experiment.Fig4ThreadMisses(cfg)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(series))
+	values := make([][]float64, len(series))
+	for i, s := range series {
+		labels[i] = s.Benchmark
+		values[i] = s.Values
+	}
+	fmt.Print(report.GroupedBars(
+		"Fig. 4 — per-thread L2 misses normalised to the worst thread (shared cache)",
+		labels, threadLabels(cfg.NumThreads), values, 30))
+	writeSVG("fig04-thread-misses", svg.GroupedHBars(
+		"Fig. 4 — per-thread L2 misses (normalised)", labels, threadLabels(cfg.NumThreads), values, 720))
+	return nil
+}
+
+func fig5(cfg experiment.Config) error {
+	corrs, avg, err := experiment.Fig5Correlation(cfg)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(corrs))
+	values := make([]float64, len(corrs))
+	for i, c := range corrs {
+		labels[i] = c.Benchmark
+		values[i] = c.R
+	}
+	fmt.Print(report.Bars("Fig. 5 — correlation between per-interval CPI and L2 misses (paper avg ~0.97)",
+		labels, values, 40))
+	fmt.Printf("average: %.3f\n", avg)
+	writeSVG("fig05-correlation", svg.HBars("Fig. 5 — CPI vs L2-miss correlation", labels, values, 680))
+	return nil
+}
+
+func fig6(cfg experiment.Config) error {
+	series, err := experiment.Fig6SwimPhases(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Series(
+		fmt.Sprintf("Fig. 6 — swim per-thread performance (IPC) across %d intervals (phase behaviour)", cfg.Intervals),
+		threadLabels(len(series.Threads)), series.Threads))
+	writeSVG("fig06-swim-phases", svg.Lines("Fig. 6 — swim per-thread IPC per interval",
+		threadLabels(len(series.Threads)), series.Threads, 820, 320))
+	return nil
+}
+
+func fig7(cfg experiment.Config) error {
+	series, variable, err := experiment.Fig7SwimMisses(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Series(
+		fmt.Sprintf("Fig. 7 — swim L2 misses per interval; most phase-variable thread is thread %d", variable+1),
+		[]string{fmt.Sprintf("thread %d", variable+1)},
+		[][]float64{series.Threads[variable]}))
+	writeSVG("fig07-swim-misses", svg.Lines(
+		fmt.Sprintf("Fig. 7 — swim thread %d L2 misses per interval", variable+1),
+		[]string{fmt.Sprintf("thread %d", variable+1)},
+		[][]float64{series.Threads[variable]}, 820, 300))
+	return nil
+}
+
+func fig8(cfg experiment.Config) error {
+	stats9, avg, err := experiment.Fig8And9Interaction(cfg)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(stats9))
+	values := make([]float64, len(stats9))
+	for i, s := range stats9 {
+		labels[i] = s.Benchmark
+		values[i] = s.InterThreadPct
+	}
+	fmt.Print(report.Bars("Fig. 8 — %% of cache interactions that are inter-thread (paper avg ~11.5%)",
+		labels, values, 40))
+	fmt.Printf("average: %.2f%%\n", avg)
+	writeSVG("fig08-interthread", svg.HBars("Fig. 8 — inter-thread interaction share (%)", labels, values, 680))
+	return nil
+}
+
+func fig9(cfg experiment.Config) error {
+	stats9, _, err := experiment.Fig8And9Interaction(cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig. 9 — breakdown of inter-thread interactions",
+		"benchmark", "constructive %", "destructive %")
+	for _, s := range stats9 {
+		t.AddRow(s.Benchmark, s.ConstructivePct, 100-s.ConstructivePct)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func fig10(cfg experiment.Config) error {
+	ws, err := experiment.Fig10WaySensitivity(cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig. 10 — swim thread CPI at 16 vs 32 total ways (heterogeneous sensitivity)",
+		"thread", "CPI @16 ways", "CPI @32 ways", "drop %")
+	for _, w := range ws {
+		t.AddRow(fmt.Sprintf("thread %d", w.Thread+1), w.CPI16Ways, w.CPI32Ways, w.DropPct)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func fig15(cfg experiment.Config) error {
+	curves, targets, err := experiment.Fig15Models(cfg, "cg")
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(curves))
+	rows := make([][]float64, len(curves))
+	for i, c := range curves {
+		labels[i] = fmt.Sprintf("thread %d (model over ways 1..%d)", c.Thread+1, len(c.Curve))
+		rows[i] = c.Curve
+	}
+	fmt.Print(report.Series("Fig. 15 — fitted CPI-vs-ways models (cg under the model-based scheme)",
+		labels, rows))
+	writeSVG("fig15-models", svg.Lines("Fig. 15 — fitted CPI-vs-ways models (cg)",
+		threadLabels(len(curves)), rows, 820, 340))
+	fmt.Printf("chosen partition: %v (sums to %d ways)\n", targets, cfg.L2Ways)
+	t := report.NewTable("observed data points per thread", "thread", "ways -> CPI")
+	for _, c := range curves {
+		var b strings.Builder
+		for i, w := range c.Ways {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d->%.2f", w, c.CPIs[i])
+		}
+		t.AddRow(fmt.Sprintf("thread %d", c.Thread+1), b.String())
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func fig18(cfg experiment.Config) error {
+	rows, err := experiment.Fig18Snapshot(cfg, 4)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig. 18 — cg way assignment and overall CPI across consecutive intervals (model-based)",
+		"interval", "thread 1", "thread 2", "thread 3", "thread 4", "overall CPI")
+	for _, r := range rows {
+		cells := []interface{}{r.Interval}
+		for _, w := range r.Ways {
+			cells = append(cells, w)
+		}
+		cells = append(cells, r.OverallCPI)
+		t.AddRow(cells...)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// seedReplicates > 1 switches the comparison figures to multi-seed
+// mode with 95% confidence intervals.
+var seedReplicates = 1
+
+// seededComparisonFigure renders a comparison figure replicated over
+// seedReplicates seeds.
+func seededComparisonFigure(title string, cfg experiment.Config, baseline, candidate core.Policy) error {
+	out, err := experiment.CompareAllSeeds(cfg, baseline, candidate,
+		experiment.DefaultSeeds(seedReplicates), 0)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s — %d seeds, mean ± 95%% CI", title, seedReplicates),
+		"benchmark", "mean %", "± CI", "min %", "max %")
+	var means []float64
+	for _, sc := range out {
+		t.AddRow(sc.Benchmark, sc.Mean, sc.CI95, sc.Min(), sc.Max())
+		means = append(means, sc.Mean)
+	}
+	fmt.Print(t.String())
+	var sum, best float64
+	for i, m := range means {
+		sum += m
+		if i == 0 || m > best {
+			best = m
+		}
+	}
+	fmt.Printf("mean of means: %+.2f%%   best: %+.2f%%\n", sum/float64(len(means)), best)
+	return nil
+}
+
+func comparisonFigure(title string, cs []experiment.Comparison) {
+	comparisonFigureSVG(title, "", cs)
+}
+
+func comparisonFigureSVG(title, svgName string, cs []experiment.Comparison) {
+	labels := make([]string, len(cs))
+	values := make([]float64, len(cs))
+	for i, c := range cs {
+		labels[i] = c.Benchmark
+		values[i] = c.ImprovementPct
+	}
+	fmt.Print(report.Bars(title, labels, values, 40))
+	fmt.Printf("mean: %+.2f%%   max: %+.2f%%\n",
+		experiment.MeanImprovement(cs), experiment.MaxImprovement(cs))
+	if svgName != "" {
+		writeSVG(svgName, svg.HBars(title, labels, values, 680))
+	}
+}
+
+func fig19(cfg experiment.Config) error {
+	const title = "Fig. 19 — improvement of dynamic (model-based) over private/equal-static cache (paper: up to 23%, avg ~11%)"
+	if seedReplicates > 1 {
+		return seededComparisonFigure(title, cfg, core.PolicyPrivate, core.PolicyModelBased)
+	}
+	cs, err := experiment.Fig19VsPrivate(cfg)
+	if err != nil {
+		return err
+	}
+	comparisonFigureSVG(title, "fig19-vs-private", cs)
+	return nil
+}
+
+func fig20(cfg experiment.Config) error {
+	const title = "Fig. 20 — improvement over shared unpartitioned cache (paper: up to 15%, avg ~9%)"
+	if seedReplicates > 1 {
+		return seededComparisonFigure(title, cfg, core.PolicyShared, core.PolicyModelBased)
+	}
+	cs, err := experiment.Fig20VsShared(cfg)
+	if err != nil {
+		return err
+	}
+	comparisonFigureSVG(title, "fig20-vs-shared", cs)
+	return nil
+}
+
+func fig21(cfg experiment.Config) error {
+	const title = "Fig. 21 — improvement over throughput-oriented (UCP-style) partitioning (paper: up to 20%)"
+	if seedReplicates > 1 {
+		return seededComparisonFigure(title, cfg, core.PolicyThroughputUCP, core.PolicyModelBased)
+	}
+	cs, err := experiment.Fig21VsThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	comparisonFigureSVG(title, "fig21-vs-throughput", cs)
+	return nil
+}
+
+func fig22(cfg experiment.Config) error {
+	res, err := experiment.Fig22EightCore(cfg)
+	if err != nil {
+		return err
+	}
+	comparisonFigureSVG("Fig. 22a — 8-core CMP: improvement over private cache", "fig22a-8core-vs-private", res.VsPrivate)
+	fmt.Println()
+	comparisonFigureSVG("Fig. 22b — 8-core CMP: improvement over shared cache", "fig22b-8core-vs-shared", res.VsShared)
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command sweep runs parameter sensitivity sweeps of the dynamic
+// partitioner against a baseline: cache size, interval length, or
+// thread count. Points run in parallel (simulations are independent
+// and deterministic).
+//
+// Usage:
+//
+//	sweep -kind cache    -bench cg          # L2 capacity sweep
+//	sweep -kind interval -bench swim        # execution-interval sweep
+//	sweep -kind threads  -bench mgrid       # core-count sweep
+//	sweep -kind cache -json                 # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"intracache/internal/core"
+	"intracache/internal/experiment"
+	"intracache/internal/report"
+)
+
+func main() {
+	kind := flag.String("kind", "cache", "sweep kind: cache, interval, threads")
+	bench := flag.String("bench", "cg", "benchmark to sweep")
+	baseName := flag.String("baseline", "shared", "baseline policy")
+	candName := flag.String("candidate", "model-based", "candidate policy")
+	sections := flag.Int("sections", 40, "fixed work per run (parallel sections)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
+	flag.Parse()
+
+	baseline, err := core.ParsePolicy(*baseName)
+	if err != nil {
+		fatal(err)
+	}
+	candidate, err := core.ParsePolicy(*candName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Sections = *sections
+
+	var points []experiment.SweepPoint
+	switch *kind {
+	case "cache":
+		// Capacity grows with associativity at fixed sets, exactly how
+		// the paper grows its cache (Sec. IV-A3).
+		for _, ways := range []int{16, 32, 48, 64, 96, 128} {
+			c := cfg
+			c.L2Ways = ways
+			c.L2KB = cfg.L2KB / cfg.L2Ways * ways
+			points = append(points, experiment.SweepPoint{
+				Label: fmt.Sprintf("%d ways / %d KB", ways, c.L2KB), Cfg: c})
+		}
+	case "interval":
+		for _, iv := range []uint64{50_000, 100_000, 200_000, 400_000, 800_000} {
+			c := cfg
+			c.IntervalInstructions = iv
+			points = append(points, experiment.SweepPoint{
+				Label: fmt.Sprintf("%dk instr", iv/1000), Cfg: c})
+		}
+	case "threads":
+		for _, n := range []int{2, 4, 8, 16} {
+			c := cfg.WithThreads(n)
+			// Preserve the working-set-to-cache ratio as thread count
+			// scales (see EXPERIMENTS.md on Fig. 22).
+			c.L2KB = cfg.L2KB * n / cfg.NumThreads
+			points = append(points, experiment.SweepPoint{
+				Label: fmt.Sprintf("%d threads / %d KB", n, c.L2KB), Cfg: c})
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
+	}
+
+	results, err := experiment.Sweep(points, *bench, baseline, candidate, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s sweep on %q: %s vs %s", *kind, *bench, *candName, *baseName),
+		"point", "baseline cycles", "dynamic cycles", "improvement %")
+	for _, r := range results {
+		t.AddRow(r.Label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
+	}
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command tracer records benchmark access traces to files and replays
+// them through the simulator. Recorded traces decouple workload capture
+// from simulation: a trace captured once (here from the synthetic
+// generators; in principle from any tool that writes the same format)
+// can drive any policy, configuration or study without re-generating.
+//
+// Usage:
+//
+//	tracer -record /tmp/cg -bench cg -instr 2000000   # writes thread-N.itrc
+//	tracer -replay /tmp/cg -policy model-based        # simulates from traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"intracache/internal/core"
+	"intracache/internal/experiment"
+	"intracache/internal/trace"
+	"intracache/internal/workload"
+)
+
+func main() {
+	record := flag.String("record", "", "directory to record per-thread traces into")
+	replay := flag.String("replay", "", "directory of per-thread traces to replay")
+	bench := flag.String("bench", "cg", "benchmark to record")
+	policyName := flag.String("policy", "model-based", "policy for replay")
+	instr := flag.Uint64("instr", 2_000_000, "instructions to record per thread")
+	sections := flag.Int("sections", 30, "parallel sections to replay")
+	seed := flag.Uint64("seed", 42, "workload seed for recording")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
+	switch {
+	case *record != "":
+		if err := doRecord(cfg, *record, *bench, *instr); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(cfg, *replay, *policyName, *sections); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -record DIR or -replay DIR"))
+	}
+}
+
+func tracePath(dir string, thread int) string {
+	return filepath.Join(dir, fmt.Sprintf("thread-%d.itrc", thread))
+}
+
+func doRecord(cfg experiment.Config, dir, bench string, instr uint64) error {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, g := range gens {
+		f, err := os.Create(tracePath(dir, i))
+		if err != nil {
+			return err
+		}
+		if err := trace.Record(f, g, instr, cfg.LineBytes); err != nil {
+			f.Close()
+			return fmt.Errorf("recording thread %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st, err := os.Stat(tracePath(dir, i))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("thread %d: %d instructions -> %s (%d bytes)\n", i, instr, tracePath(dir, i), st.Size())
+	}
+	return nil
+}
+
+func doReplay(cfg experiment.Config, dir, policyName string, sections int) error {
+	pol, err := core.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	sources := make([]trace.Source, cfg.NumThreads)
+	for i := range sources {
+		f, err := os.Open(tracePath(dir, i))
+		if err != nil {
+			return err
+		}
+		rp, err := trace.NewReplayer(f, cfg.LineBytes)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading thread %d: %w", i, err)
+		}
+		sources[i] = rp
+		fmt.Printf("thread %d: %d recorded accesses\n", i, rp.Len())
+	}
+	cfg.Sections = sections
+	run, err := experiment.RunSources(cfg, filepath.Base(dir), sources, pol, experiment.BySections)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplayed %q under %s\n", run.Benchmark, run.Policy)
+	fmt.Printf("  wall cycles:     %d\n", run.Result.WallCycles)
+	fmt.Printf("  application CPI: %.3f\n", run.Result.AppCPI())
+	if run.Result.FinalTargets != nil {
+		fmt.Printf("  final partition: %v\n", run.Result.FinalTargets)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package intracache_test
+
+import (
+	"fmt"
+	"log"
+
+	"intracache"
+)
+
+// Example runs one benchmark under the paper's model-based dynamic
+// partitioner and inspects the outcome. (Examples compile as
+// documentation; see examples/ for runnable programs.)
+func Example() {
+	cfg := intracache.DefaultConfig()
+	cfg.Intervals = 20
+
+	run, err := intracache.Simulate(cfg, "cg", intracache.PolicyModelBased, intracache.ByIntervals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application CPI:", run.Result.AppCPI())
+	fmt.Println("ways per thread:", run.Result.FinalTargets)
+}
+
+// ExampleCompareOn measures how much the dynamic scheme improves over a
+// baseline on fixed work.
+func ExampleCompareOn() {
+	cfg := intracache.DefaultConfig()
+	cfg.Sections = 40
+
+	c, err := intracache.CompareOn(cfg, "mgrid", intracache.PolicyShared, intracache.PolicyModelBased)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mgrid: %+.1f%% vs a shared cache\n", c.ImprovementPct)
+}
+
+// ExampleSimulateProfile models a custom application: describe each
+// thread's cache behaviour and ask whether partitioning would help.
+func ExampleSimulateProfile() {
+	app := intracache.Profile{
+		Name:     "my-app",
+		MemRatio: 0.3, WriteRatio: 0.25,
+		WSKB:         []int{128, 24, 24, 24}, // one heavyweight thread
+		ZipfAlpha:    []float64{0.5, 0.7, 0.7, 0.7},
+		StreamWeight: []float64{0.05, 0.1, 0.1, 0.1},
+		StreamKB:     1024,
+		SharedKB:     16, SharedWeight: 0.1, SharedZipf: 0.9,
+	}
+	cfg := intracache.DefaultConfig()
+	run, err := intracache.SimulateProfile(cfg, app, intracache.PolicyModelBased, intracache.ByIntervals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final partition:", run.Result.FinalTargets)
+}
+
+// ExampleSimulateWithMigration reproduces the paper's unpinned-thread
+// scenario: the OS migrates the critical thread to another core and the
+// runtime system re-adapts.
+func ExampleSimulateWithMigration() {
+	cfg := intracache.DefaultConfig()
+	cfg.Intervals = 30
+
+	run, err := intracache.SimulateWithMigration(cfg, "cg", intracache.PolicyModelBased, 14, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := run.Result.Intervals[len(run.Result.Intervals)-1]
+	fmt.Println("post-migration ways:", last.Threads[0].WaysAssigned)
+}

@@ -1,0 +1,73 @@
+// Customworkload shows the downstream-user scenario: you know your own
+// application's per-thread cache behaviour and want to know whether
+// intra-application cache partitioning would help it.
+//
+// The example models a pipeline-parallel media encoder: one heavyweight
+// motion-estimation thread with a large, irregularly-reused frame
+// buffer; one medium entropy-coding thread; and two lightweight
+// pre/post-processing threads that mostly stream. The threads share a
+// reference-frame region, and every ~25 intervals the encoder switches
+// scene (the heavy thread's working set steps down).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intracache"
+)
+
+func main() {
+	encoder := intracache.Profile{
+		Name:        "media-encoder",
+		Description: "pipeline-parallel encoder: motion estimation + entropy coding + 2 streaming stages",
+		MemRatio:    0.34,
+		WriteRatio:  0.3,
+		// Per-thread private working sets (KiB): the motion-estimation
+		// thread dominates.
+		WSKB: []int{150, 64, 20, 18},
+		// Motion estimation reuses its frame buffer irregularly (low
+		// skew); the streaming stages have tight hot loops (high skew).
+		ZipfAlpha:    []float64{0.5, 0.6, 0.75, 0.75},
+		StreamWeight: []float64{0.03, 0.05, 0.18, 0.18},
+		StreamKB:     1024,
+		// The shared reference frame.
+		SharedKB:     32,
+		SharedWeight: 0.10,
+		SharedZipf:   0.9,
+		// Scene cut: the heavy thread's footprint drops 40% mid-run.
+		Phase: intracache.PhaseSpec{
+			Kind:         intracache.PhaseStep,
+			Threads:      []int{0},
+			StepInterval: 25,
+			StepScale:    0.6,
+		},
+	}
+
+	cfg := intracache.DefaultConfig()
+	cfg.Sections = 40
+
+	fmt.Println("Would intra-application cache partitioning help this encoder?")
+	fmt.Println()
+	for _, baseline := range []intracache.Policy{
+		intracache.PolicyShared,
+		intracache.PolicyPrivate,
+		intracache.PolicyThroughputUCP,
+	} {
+		c, err := intracache.CompareProfile(cfg, encoder, baseline, intracache.PolicyModelBased)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  vs %-16s %+6.2f%%  (%d -> %d cycles)\n",
+			baseline.String()+":", c.ImprovementPct, c.BaselineCycles, c.CandidateCycles)
+	}
+
+	// Inspect what the partitioner learned about each thread.
+	run, err := intracache.SimulateProfile(cfg, encoder, intracache.PolicyModelBased, intracache.ByIntervals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal partition after %d intervals: %v ways\n",
+		cfg.Intervals, run.Result.FinalTargets)
+	fmt.Println("(thread 1 is the motion-estimation thread — it should hold the most ways)")
+}

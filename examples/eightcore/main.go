@@ -1,0 +1,42 @@
+// Eightcore reproduces the paper's Fig. 22 sensitivity scenario: the
+// nine benchmarks scaled to 8 threads on an 8-core CMP with the same
+// shared L2, comparing the model-based dynamic partitioner against the
+// private and shared baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intracache"
+)
+
+func main() {
+	cfg := intracache.DefaultConfig().WithThreads(8)
+	// The paper's 1 MB L2 exceeded the working set at both core counts;
+	// the scaled default is sized against 4 threads, so the 8-thread
+	// run doubles capacity to preserve the working-set-to-cache ratio
+	// (same associativity, twice the sets). See EXPERIMENTS.md.
+	cfg.L2KB *= 2
+	cfg.Sections = 30
+
+	vsPrivate, err := intracache.CompareAll(cfg, intracache.PolicyPrivate, intracache.PolicyModelBased)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vsShared, err := intracache.CompareAll(cfg, intracache.PolicyShared, intracache.PolicyModelBased)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("8-core CMP: improvement of dynamic (model-based) partitioning")
+	fmt.Printf("\n%-10s %12s %12s\n", "benchmark", "vs private", "vs shared")
+	for i := range vsPrivate {
+		fmt.Printf("%-10s %+11.2f%% %+11.2f%%\n",
+			vsPrivate[i].Benchmark, vsPrivate[i].ImprovementPct, vsShared[i].ImprovementPct)
+	}
+	fmt.Printf("\n%-10s %+11.2f%% %+11.2f%%\n", "mean",
+		intracache.MeanImprovement(vsPrivate), intracache.MeanImprovement(vsShared))
+	fmt.Println("\nThe paper observes gains similar to the 4-core case (its Fig. 22);")
+	fmt.Println("the same shape should appear here.")
+}

@@ -1,0 +1,3 @@
+module intracache
+
+go 1.22

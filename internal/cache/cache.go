@@ -1,0 +1,646 @@
+// Package cache implements the set-associative caches of the simulated
+// CMP, including the paper's way-partitioning hardware (Section V).
+//
+// Partitioning is implicit, via the replacement policy: each set keeps a
+// per-thread count of the ways it currently owns, plus a per-thread
+// *target* way assignment shared by all sets. On a miss, if the filling
+// thread owns fewer ways in the set than its target, the victim is the
+// LRU line owned by some *other* thread (preferring threads that exceed
+// their own target); otherwise the victim is the thread's own LRU line.
+// The cache therefore converges gradually toward the target partition,
+// with no flush or reconfiguration stall. Any thread may *hit* on any
+// resident line regardless of owner — partitioning is eviction control
+// only — which is what lets a partitioned shared cache retain the
+// constructive-sharing benefit of a plain shared cache while blocking
+// destructive inter-thread evictions.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mode selects the replacement regime.
+type Mode int
+
+const (
+	// SharedLRU is a conventional unpartitioned cache with global LRU
+	// replacement (the paper's "shared cache" baseline).
+	SharedLRU Mode = iota
+	// Partitioned enforces per-thread way targets through replacement
+	// (the paper's Section V mechanism).
+	Partitioned
+	// PartitionedMask enforces targets with contiguous per-thread way
+	// masks, the mechanism of commercial cache-allocation hardware
+	// (e.g. Intel CAT): a miss may only fill the thread's masked ways.
+	// Hits are still allowed anywhere. Compared to the paper's
+	// eviction-control scheme, masks also *pin* each thread's fills to
+	// fixed way positions, so repartitioning moves data less gracefully
+	// — exactly the trade-off the mask ablation benchmark measures.
+	PartitionedMask
+	// SharedTADIP is an unpartitioned shared cache managed by
+	// thread-aware dynamic insertion (TADIP, the paper's related work
+	// [17]/[22]): eviction is global LRU, but each thread's fills are
+	// inserted either at MRU (conventional) or at LRU with occasional
+	// MRU promotion (bimodal insertion, which keeps a thrashing
+	// thread's dead lines from flushing everyone else). Per-thread
+	// set-dueling chooses the better insertion policy online.
+	SharedTADIP
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case SharedLRU:
+		return "shared-lru"
+	case Partitioned:
+		return "partitioned"
+	case PartitionedMask:
+		return "partitioned-mask"
+	case SharedTADIP:
+		return "shared-tadip"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes cache geometry.
+type Config struct {
+	SizeBytes  int // total capacity in bytes
+	Ways       int // associativity; number of lines per set
+	LineBytes  int // line size in bytes
+	NumThreads int // number of threads that may access the cache
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache: SizeBytes %d must be positive", c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: Ways %d must be positive", c.Ways)
+	case c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("cache: LineBytes %d must be a positive power of two", c.LineBytes)
+	case c.NumThreads <= 0:
+		return fmt.Errorf("cache: NumThreads %d must be positive", c.NumThreads)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: SizeBytes %d not a multiple of LineBytes %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / c.LineBytes / c.Ways }
+
+// line is one cache line's metadata. A line is invalid when tag == 0
+// and valid == false; owner is the thread that last *filled* it.
+type line struct {
+	tag     uint64
+	lastUse uint64
+	lastAcc int16 // thread of the most recent access (for interaction stats)
+	owner   int16
+	valid   bool
+	dirty   bool
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// InterThread is true when the previous access to the same resident
+	// line came from a different thread (the paper's "inter-thread
+	// cache interaction"; always a hit by construction).
+	InterThread bool
+	// Evicted is true when the access caused a replacement of a valid line.
+	Evicted bool
+	// EvictedAddr is the byte address of the replaced line (valid only
+	// when Evicted is true). Coherence layers use it to track which
+	// lines leave a private cache.
+	EvictedAddr uint64
+	// InterThreadEviction is true when the evicted line's most recent
+	// accessor was a different thread (a "destructive" interaction).
+	InterThreadEviction bool
+	// WritebackDirty is true when the evicted line was dirty.
+	WritebackDirty bool
+}
+
+// ThreadStats holds per-thread cumulative counters.
+type ThreadStats struct {
+	Accesses            uint64
+	Hits                uint64
+	Misses              uint64
+	InterThreadHits     uint64 // accesses that hit a line last touched by another thread
+	EvictionsCaused     uint64 // valid lines this thread replaced
+	InterThreadEvictons uint64 // of those, lines last touched by another thread
+	EvictionsSuffered   uint64 // this thread's lines replaced by anyone
+}
+
+// Stats aggregates cumulative cache counters.
+type Stats struct {
+	Threads []ThreadStats
+}
+
+// Totals sums the per-thread counters.
+func (s Stats) Totals() ThreadStats {
+	var t ThreadStats
+	for _, ts := range s.Threads {
+		t.Accesses += ts.Accesses
+		t.Hits += ts.Hits
+		t.Misses += ts.Misses
+		t.InterThreadHits += ts.InterThreadHits
+		t.EvictionsCaused += ts.EvictionsCaused
+		t.InterThreadEvictons += ts.InterThreadEvictons
+		t.EvictionsSuffered += ts.EvictionsSuffered
+	}
+	return t
+}
+
+// InterThreadInteractionFraction returns the fraction of all accesses
+// that were inter-thread interactions (constructive hits plus
+// destructive evictions), the quantity the paper plots in Fig. 8.
+func (s Stats) InterThreadInteractionFraction() float64 {
+	t := s.Totals()
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.InterThreadHits+t.InterThreadEvictons) / float64(t.Accesses)
+}
+
+// ConstructiveFraction returns the constructive share of inter-thread
+// interactions (Fig. 9): hits on another thread's data divided by all
+// inter-thread interactions.
+func (s Stats) ConstructiveFraction() float64 {
+	t := s.Totals()
+	inter := t.InterThreadHits + t.InterThreadEvictons
+	if inter == 0 {
+		return 0
+	}
+	return float64(t.InterThreadHits) / float64(inter)
+}
+
+// Cache is a set-associative cache with optional way partitioning.
+// It is not safe for concurrent use; the simulator serialises accesses
+// in global cycle order, which is exactly the behaviour being modelled.
+type Cache struct {
+	cfg      Config
+	mode     Mode
+	sets     []line  // numSets * ways, set-major
+	ownCount []int16 // numSets * numThreads, lines owned per thread per set
+	target   []int   // per-thread way targets (Partitioned mode)
+	numSets  int
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+	stats    Stats
+
+	// TADIP insertion state: per-thread policy selectors and
+	// bimodal-insertion counters. psel > 0 means bimodal insertion is
+	// winning for that thread; see tadipInsertMRU. Active in
+	// SharedTADIP mode or after EnableTADIPInsertion.
+	tadipInsert bool
+	psel        []int
+	bipCount    []uint32
+}
+
+// New creates a cache in the given mode. For Partitioned mode the
+// initial targets are an equal split (remainder ways distributed to the
+// lowest-numbered threads).
+func New(cfg Config, mode Mode) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mode != SharedLRU && mode != Partitioned && mode != PartitionedMask && mode != SharedTADIP {
+		return nil, fmt.Errorf("cache: unknown mode %v", mode)
+	}
+	numSets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		mode:     mode,
+		sets:     make([]line, numSets*cfg.Ways),
+		ownCount: make([]int16, numSets*cfg.NumThreads),
+		target:   EqualSplit(cfg.Ways, cfg.NumThreads),
+		numSets:  numSets,
+		setMask:  uint64(numSets - 1),
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		stats:    Stats{Threads: make([]ThreadStats, cfg.NumThreads)},
+	}
+	if mode == SharedTADIP {
+		c.EnableTADIPInsertion()
+	}
+	return c, nil
+}
+
+// EnableTADIPInsertion turns on thread-aware dynamic insertion for
+// fills, independent of the eviction mode: with a Partitioned mode this
+// yields the hybrid of the paper's partitioning (eviction control) and
+// adaptive insertion (each thread's fills within its own share go to
+// MRU or LRU position by set dueling).
+func (c *Cache) EnableTADIPInsertion() {
+	c.tadipInsert = true
+	if c.psel == nil {
+		c.psel = make([]int, c.cfg.NumThreads)
+		c.bipCount = make([]uint32, c.cfg.NumThreads)
+	}
+}
+
+// EqualSplit divides ways as evenly as possible among n threads, giving
+// any remainder to the lowest-numbered threads. The result always sums
+// to ways.
+func EqualSplit(ways, n int) []int {
+	out := make([]int, n)
+	base, rem := ways/n, ways%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Mode returns the cache's replacement mode.
+func (c *Cache) Mode() Mode { return c.mode }
+
+// Targets returns a copy of the current per-thread way targets.
+func (c *Cache) Targets() []int {
+	out := make([]int, len(c.target))
+	copy(out, c.target)
+	return out
+}
+
+// SetTargets installs new per-thread way targets. The targets must be
+// non-negative and sum to the cache's associativity. The repartition
+// takes effect gradually through subsequent replacements, as in the
+// paper's Section V. Calling SetTargets on a SharedLRU cache is an error.
+func (c *Cache) SetTargets(targets []int) error {
+	if c.mode != Partitioned && c.mode != PartitionedMask {
+		return fmt.Errorf("cache: SetTargets on %v cache", c.mode)
+	}
+	if len(targets) != c.cfg.NumThreads {
+		return fmt.Errorf("cache: %d targets for %d threads", len(targets), c.cfg.NumThreads)
+	}
+	sum := 0
+	for i, t := range targets {
+		if t < 0 {
+			return fmt.Errorf("cache: negative target %d for thread %d", t, i)
+		}
+		sum += t
+	}
+	if sum != c.cfg.Ways {
+		return fmt.Errorf("cache: targets sum to %d, want %d ways", sum, c.cfg.Ways)
+	}
+	copy(c.target, targets)
+	return nil
+}
+
+// Stats returns a copy of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	out := Stats{Threads: make([]ThreadStats, len(c.stats.Threads))}
+	copy(out.Threads, c.stats.Threads)
+	return out
+}
+
+// ResetStats zeroes all counters without disturbing cache contents.
+func (c *Cache) ResetStats() {
+	for i := range c.stats.Threads {
+		c.stats.Threads[i] = ThreadStats{}
+	}
+}
+
+// addrIndex splits a byte address into set index and tag.
+func (c *Cache) addrIndex(addr uint64) (set int, tag uint64) {
+	lineAddr := addr >> c.lineBits
+	return int(lineAddr & c.setMask), lineAddr >> uint(bits.TrailingZeros(uint(c.numSets)))
+}
+
+// Access performs one access by `thread` to byte address addr and
+// returns the outcome. On a miss the line is filled (allocate-on-miss
+// for both reads and writes) and ownership transfers to the filler.
+func (c *Cache) Access(thread int, addr uint64, write bool) AccessResult {
+	if thread < 0 || thread >= c.cfg.NumThreads {
+		panic(fmt.Sprintf("cache: thread %d out of range [0,%d)", thread, c.cfg.NumThreads))
+	}
+	c.clock++
+	set, tag := c.addrIndex(addr)
+	base := set * c.cfg.Ways
+	ways := c.sets[base : base+c.cfg.Ways]
+	ts := &c.stats.Threads[thread]
+	ts.Accesses++
+
+	// Probe for a hit.
+	for i := range ways {
+		ln := &ways[i]
+		if ln.valid && ln.tag == tag {
+			ts.Hits++
+			res := AccessResult{Hit: true}
+			if int(ln.lastAcc) != thread {
+				res.InterThread = true
+				ts.InterThreadHits++
+			}
+			ln.lastUse = c.clock
+			ln.lastAcc = int16(thread)
+			if write {
+				ln.dirty = true
+			}
+			return res
+		}
+	}
+
+	// Miss: pick a victim.
+	ts.Misses++
+	res := AccessResult{}
+	victim := c.pickVictim(set, ways, thread)
+	ln := &ways[victim]
+	if ln.valid {
+		res.Evicted = true
+		res.EvictedAddr = c.lineAddr(set, ln.tag)
+		res.WritebackDirty = ln.dirty
+		ts.EvictionsCaused++
+		c.stats.Threads[ln.owner].EvictionsSuffered++
+		if int(ln.lastAcc) != thread {
+			res.InterThreadEviction = true
+			ts.InterThreadEvictons++
+		}
+		c.ownCount[set*c.cfg.NumThreads+int(ln.owner)]--
+	}
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = write
+	ln.owner = int16(thread)
+	ln.lastAcc = int16(thread)
+	if c.tadipInsert {
+		c.tadipAccountMiss(set, thread)
+		if c.tadipInsertMRU(set, thread) {
+			ln.lastUse = c.clock
+		} else {
+			// LRU-position insertion: the line is the set's next victim
+			// unless it is re-referenced first.
+			ln.lastUse = minLastUse(ways)
+		}
+	} else {
+		ln.lastUse = c.clock
+	}
+	c.ownCount[set*c.cfg.NumThreads+thread]++
+	return res
+}
+
+// lineAddr reconstructs a line's byte address from its set and tag.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	setBits := uint(bits.TrailingZeros(uint(c.numSets)))
+	return ((tag << setBits) | uint64(set)) << c.lineBits
+}
+
+// Invalidate removes addr's line from the cache if resident, returning
+// whether it was found (and whether it was dirty). Used by the L1
+// write-invalidate coherence layer; statistics are not affected.
+func (c *Cache) Invalidate(addr uint64) (found, dirty bool) {
+	set, tag := c.addrIndex(addr)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.sets[base+i]
+		if ln.valid && ln.tag == tag {
+			dirty = ln.dirty
+			c.ownCount[set*c.cfg.NumThreads+int(ln.owner)]--
+			*ln = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Contains reports whether addr is resident, without touching LRU state
+// or statistics. Used by tests and by the UMON sampling logic.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.addrIndex(addr)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		if ln := &c.sets[base+i]; ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictim selects the way to replace in the given set on behalf of
+// `thread`, implementing the Section V policy.
+func (c *Cache) pickVictim(set int, ways []line, thread int) int {
+	// Invalid lines are always preferred — except under way masks,
+	// where a thread may only fill its own way positions (invalid lines
+	// inside the mask still win there, via their zero lastUse).
+	if c.mode != PartitionedMask {
+		for i := range ways {
+			if !ways[i].valid {
+				return i
+			}
+		}
+	}
+	if c.mode == SharedLRU || c.mode == SharedTADIP {
+		return lruOf(ways, func(int) bool { return true })
+	}
+	if c.mode == PartitionedMask {
+		// Contiguous mask: thread t's ways are
+		// [sum(target[:t]), sum(target[:t])+target[t]). An empty mask
+		// (target 0, transiently possible) falls back to global LRU.
+		start := 0
+		for i := 0; i < thread; i++ {
+			start += c.target[i]
+		}
+		end := start + c.target[thread]
+		if start >= end {
+			return lruOf(ways, func(int) bool { return true })
+		}
+		v := lruOf(ways, func(i int) bool { return i >= start && i < end })
+		if v >= 0 {
+			return v
+		}
+		return lruOf(ways, func(int) bool { return true })
+	}
+	owned := int(c.ownCount[set*c.cfg.NumThreads+thread])
+	if owned < c.target[thread] {
+		// Under target: take a way from another thread. Prefer the LRU
+		// line among threads currently over their own target; fall back
+		// to the LRU line of any other thread.
+		over := lruOf(ways, func(i int) bool {
+			o := int(ways[i].owner)
+			return o != thread && int(c.ownCount[set*c.cfg.NumThreads+o]) > c.target[o]
+		})
+		if over >= 0 {
+			return over
+		}
+		any := lruOf(ways, func(i int) bool { return int(ways[i].owner) != thread })
+		if any >= 0 {
+			return any
+		}
+		// The thread owns every way in the set (can happen transiently
+		// after a repartition); replace its own LRU.
+		return lruOf(ways, func(int) bool { return true })
+	}
+	// At or over target: replace one of the thread's own lines
+	// (thread-wise LRU).
+	own := lruOf(ways, func(i int) bool { return int(ways[i].owner) == thread })
+	if own >= 0 {
+		return own
+	}
+	// Owns nothing in this set despite a nonzero global target (set
+	// imbalance, or target zero): steal from whoever is most over
+	// target, else global LRU.
+	over := lruOf(ways, func(i int) bool {
+		o := int(ways[i].owner)
+		return int(c.ownCount[set*c.cfg.NumThreads+o]) > c.target[o]
+	})
+	if over >= 0 {
+		return over
+	}
+	return lruOf(ways, func(int) bool { return true })
+}
+
+// TADIP set-dueling layout: for thread t, sets where
+// set % dualPeriod == 2t are "MRU-insertion leaders" and sets where
+// set % dualPeriod == 2t+1 are "bimodal leaders"; all other sets follow
+// the thread's policy selector. Leader misses steer the selector.
+const (
+	tadipDualPeriod = 32
+	tadipPselMax    = 1024
+	tadipBipEpsilon = 32 // 1 in 32 bimodal fills goes to MRU
+)
+
+// tadipAccountMiss updates the owning thread's policy selector when
+// any miss lands in one of its leader sets. Counting *all* misses in
+// the leader set (not just the owner's) is what makes the duel
+// decisive for pure streamers: a streamer's own miss count is identical
+// under both insertion policies, but the collateral misses it inflicts
+// on its neighbours are far lower in its bimodal-leader sets, and that
+// difference is exactly what the selector should see.
+func (c *Cache) tadipAccountMiss(set, _ int) {
+	r := set % tadipDualPeriod
+	owner := r / 2
+	if owner >= c.cfg.NumThreads {
+		return // follower set
+	}
+	if r%2 == 0 {
+		if c.psel[owner] < tadipPselMax {
+			c.psel[owner]++ // miss in owner's MRU-leader: evidence for bimodal
+		}
+	} else if c.psel[owner] > -tadipPselMax {
+		c.psel[owner]-- // miss in owner's bimodal-leader: evidence for MRU
+	}
+}
+
+// tadipInsertMRU decides the insertion position for one fill.
+func (c *Cache) tadipInsertMRU(set, thread int) bool {
+	r := set % tadipDualPeriod
+	bimodal := false
+	switch {
+	case r == 2*thread:
+		bimodal = false // MRU leader
+	case r == 2*thread+1:
+		bimodal = true // bimodal leader
+	default:
+		bimodal = c.psel[thread] > 0
+	}
+	if !bimodal {
+		return true
+	}
+	c.bipCount[thread]++
+	return c.bipCount[thread]%tadipBipEpsilon == 0
+}
+
+// minLastUse returns the smallest lastUse among valid lines (0 if none),
+// i.e. the LRU insertion position.
+func minLastUse(ways []line) uint64 {
+	var m uint64
+	seen := false
+	for i := range ways {
+		if !ways[i].valid {
+			continue
+		}
+		if !seen || ways[i].lastUse < m {
+			m = ways[i].lastUse
+			seen = true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	if m > 0 {
+		m-- // strictly older than the current LRU line
+	}
+	return m
+}
+
+// lruOf returns the index of the least-recently-used valid line among
+// those for which keep returns true, or -1 if none qualifies.
+func lruOf(ways []line, keep func(i int) bool) int {
+	best := -1
+	var bestUse uint64
+	for i := range ways {
+		if !keep(i) {
+			continue
+		}
+		if best == -1 || ways[i].lastUse < bestUse {
+			best = i
+			bestUse = ways[i].lastUse
+		}
+	}
+	return best
+}
+
+// Occupancy returns, for each thread, the number of lines it currently
+// owns across the whole cache. The sum equals the number of valid lines.
+func (c *Cache) Occupancy() []int {
+	out := make([]int, c.cfg.NumThreads)
+	for s := 0; s < c.numSets; s++ {
+		for t := 0; t < c.cfg.NumThreads; t++ {
+			out[t] += int(c.ownCount[s*c.cfg.NumThreads+t])
+		}
+	}
+	return out
+}
+
+// Flush invalidates every line and clears ownership counts. Statistics
+// are preserved.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+	for i := range c.ownCount {
+		c.ownCount[i] = 0
+	}
+}
+
+// checkInvariants verifies internal consistency; used by tests.
+func (c *Cache) checkInvariants() error {
+	counts := make([]int16, c.numSets*c.cfg.NumThreads)
+	for s := 0; s < c.numSets; s++ {
+		valid := 0
+		for w := 0; w < c.cfg.Ways; w++ {
+			ln := &c.sets[s*c.cfg.Ways+w]
+			if !ln.valid {
+				continue
+			}
+			valid++
+			if ln.owner < 0 || int(ln.owner) >= c.cfg.NumThreads {
+				return fmt.Errorf("set %d way %d: owner %d out of range", s, w, ln.owner)
+			}
+			counts[s*c.cfg.NumThreads+int(ln.owner)]++
+		}
+		for t := 0; t < c.cfg.NumThreads; t++ {
+			if counts[s*c.cfg.NumThreads+t] != c.ownCount[s*c.cfg.NumThreads+t] {
+				return fmt.Errorf("set %d thread %d: ownCount %d, actual %d",
+					s, t, c.ownCount[s*c.cfg.NumThreads+t], counts[s*c.cfg.NumThreads+t])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package cache
+
+// Differential tests: the production cache is checked, access by
+// access, against a deliberately naive reference model. The reference
+// keeps each set as an explicit recency-ordered slice — no clocks, no
+// ownership counters — so any bookkeeping bug in the optimized
+// implementation shows up as a divergence.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intracache/internal/xrand"
+)
+
+// refCache is the golden model: per-set MRU-ordered slices.
+type refCache struct {
+	cfg     Config
+	mode    Mode
+	sets    [][]refLine // sets[s][0] is MRU
+	targets []int
+}
+
+type refLine struct {
+	tag   uint64
+	owner int
+}
+
+func newRef(cfg Config, mode Mode) *refCache {
+	return &refCache{
+		cfg:     cfg,
+		mode:    mode,
+		sets:    make([][]refLine, cfg.Sets()),
+		targets: EqualSplit(cfg.Ways, cfg.NumThreads),
+	}
+}
+
+func (r *refCache) index(addr uint64) (int, uint64) {
+	line := addr / uint64(r.cfg.LineBytes)
+	return int(line % uint64(r.cfg.Sets())), line / uint64(r.cfg.Sets())
+}
+
+func (r *refCache) owned(set []refLine, thread int) int {
+	n := 0
+	for _, ln := range set {
+		if ln.owner == thread {
+			n++
+		}
+	}
+	return n
+}
+
+// access returns hit.
+func (r *refCache) access(thread int, addr uint64) bool {
+	s, tag := r.index(addr)
+	set := r.sets[s]
+	for i, ln := range set {
+		if ln.tag == tag {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = refLine{tag: tag, owner: ln.owner}
+			return true
+		}
+	}
+	// Miss: insert at MRU; evict if full.
+	if len(set) < r.cfg.Ways {
+		r.sets[s] = append([]refLine{{tag, thread}}, set...)
+		return false
+	}
+	victim := len(set) - 1 // global LRU position
+	if r.mode == Partitioned {
+		victim = r.pickVictim(set, thread)
+	}
+	set = append(set[:victim], set[victim+1:]...)
+	r.sets[s] = append([]refLine{{tag, thread}}, set...)
+	return false
+}
+
+// pickVictim mirrors the Section V policy on the recency-ordered set:
+// the last (most LRU) line satisfying the filter.
+func (r *refCache) pickVictim(set []refLine, thread int) int {
+	lruWhere := func(keep func(refLine) bool) int {
+		for i := len(set) - 1; i >= 0; i-- {
+			if keep(set[i]) {
+				return i
+			}
+		}
+		return -1
+	}
+	if r.owned(set, thread) < r.targets[thread] {
+		if v := lruWhere(func(ln refLine) bool {
+			return ln.owner != thread && r.owned(set, ln.owner) > r.targets[ln.owner]
+		}); v >= 0 {
+			return v
+		}
+		if v := lruWhere(func(ln refLine) bool { return ln.owner != thread }); v >= 0 {
+			return v
+		}
+		return len(set) - 1
+	}
+	if v := lruWhere(func(ln refLine) bool { return ln.owner == thread }); v >= 0 {
+		return v
+	}
+	if v := lruWhere(func(ln refLine) bool { return r.owned(set, ln.owner) > r.targets[ln.owner] }); v >= 0 {
+		return v
+	}
+	return len(set) - 1
+}
+
+func (r *refCache) setTargets(t []int) { copy(r.targets, t) }
+
+// TestGoldenSharedLRU drives random traffic through both
+// implementations in shared mode and demands identical hit/miss
+// outcomes on every access.
+func TestGoldenSharedLRU(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4}
+	c, err := New(cfg, SharedLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRef(cfg, SharedLRU)
+	r := xrand.New(1234)
+	for i := 0; i < 50_000; i++ {
+		thread := r.Intn(4)
+		addr := uint64(r.Intn(1<<13)) * 64
+		got := c.Access(thread, addr, false).Hit
+		want := ref.access(thread, addr)
+		if got != want {
+			t.Fatalf("access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
+				i, thread, addr, got, want)
+		}
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldenPartitioned does the same in partitioned mode, including a
+// mid-stream retarget.
+func TestGoldenPartitioned(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4}
+	c, err := New(cfg, Partitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRef(cfg, Partitioned)
+	r := xrand.New(99)
+	targets := [][]int{{2, 2, 2, 2}, {5, 1, 1, 1}, {1, 3, 3, 1}}
+	for phase, tg := range targets {
+		if err := c.SetTargets(tg); err != nil {
+			t.Fatal(err)
+		}
+		ref.setTargets(tg)
+		for i := 0; i < 20_000; i++ {
+			thread := r.Intn(4)
+			addr := uint64(r.Intn(1<<12)) * 64
+			got := c.Access(thread, addr, false).Hit
+			want := ref.access(thread, addr)
+			if got != want {
+				t.Fatalf("phase %d access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
+					phase, i, thread, addr, got, want)
+			}
+		}
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: golden equivalence holds for arbitrary seeds and random
+// valid targets in both modes.
+func TestQuickGoldenEquivalence(t *testing.T) {
+	cfg := Config{SizeBytes: 2048, Ways: 4, LineBytes: 64, NumThreads: 3}
+	f := func(seed uint64, partitioned bool) bool {
+		mode := SharedLRU
+		if partitioned {
+			mode = Partitioned
+		}
+		c, err := New(cfg, mode)
+		if err != nil {
+			return false
+		}
+		ref := newRef(cfg, mode)
+		r := xrand.New(seed)
+		if partitioned {
+			tg := []int{1 + r.Intn(2), 1, 0}
+			tg[2] = cfg.Ways - tg[0] - tg[1]
+			if err := c.SetTargets(tg); err != nil {
+				return false
+			}
+			ref.setTargets(tg)
+		}
+		for i := 0; i < 5_000; i++ {
+			thread := r.Intn(3)
+			addr := uint64(r.Intn(1<<11)) * 64
+			if c.Access(thread, addr, false).Hit != ref.access(thread, addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package core implements the paper's contribution: the runtime-system
+// based dynamic intra-application cache partitioner, plus the baseline
+// partitioning schemes it is evaluated against.
+//
+// The paper's runtime system (its Fig. 17) has three components, and
+// the package mirrors them:
+//
+//   - the Cache/CPI Monitor — the per-interval counters arrive through
+//     sim.IntervalStats, and RuntimeSystem accumulates them into
+//     per-thread CPI-vs-ways histories;
+//   - the Partition Engine — an Engine implementation converts the
+//     measurements into a way assignment (CPIProportionalEngine for
+//     Sec. VI-A, ModelEngine for the headline Sec. VI-B curve-fitting
+//     scheme, UCPEngine for the throughput-oriented comparison, and
+//     EqualEngine for the static split);
+//   - the Configuration Unit — RuntimeSystem returns the assignment to
+//     the simulator, which installs it in the L2 via cache.SetTargets,
+//     where it takes effect gradually through replacement (Sec. V).
+//
+// The schemes' objective functions differ exactly as in the paper:
+// the dynamic schemes minimise the *critical path thread's* CPI, the
+// throughput scheme maximises total hits, and the static scheme
+// optimises fairness (every thread gets an equal share).
+package core

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"sort"
+
+	"intracache/internal/sim"
+	"intracache/internal/spline"
+)
+
+// CPIModel is one thread's learned CPI-vs-ways model: the observed
+// (ways, CPI) data points, blended with an exponential moving average
+// when a way count is revisited, and a fitted interpolant over them.
+// The paper maintains exactly this per-thread structure ("runtime
+// thread performance modeling", Sec. VI-B, Fig. 15). Each point is
+// stamped with the interval that produced it so stale points — taken
+// before a program phase change — can be pruned.
+type CPIModel struct {
+	points map[int]float64
+	stamp  map[int]int
+	blend  float64 // weight of the newest observation when revisiting
+}
+
+// NewCPIModel returns an empty model. blend in (0,1] controls how fast
+// repeated observations at the same way count replace older ones; the
+// paper's models simply use the latest data, which corresponds to
+// blend = 1, but a little smoothing (default 0.6) makes the fits robust
+// to interval noise without changing steady-state behaviour.
+func NewCPIModel(blend float64) *CPIModel {
+	if blend <= 0 || blend > 1 {
+		blend = 0.6
+	}
+	return &CPIModel{points: make(map[int]float64), stamp: make(map[int]int), blend: blend}
+}
+
+// Observe records that running with `ways` ways during `interval`
+// produced `cpi`. Non-positive observations are ignored (a thread that
+// retired nothing in an interval has no meaningful CPI).
+func (m *CPIModel) Observe(ways int, cpi float64, interval int) {
+	if cpi <= 0 || ways < 0 {
+		return
+	}
+	if old, ok := m.points[ways]; ok {
+		m.points[ways] = m.blend*cpi + (1-m.blend)*old
+	} else {
+		m.points[ways] = cpi
+	}
+	m.stamp[ways] = interval
+}
+
+// ResetTo discards every point and seeds the model with one fresh
+// observation — the response to a detected phase change, where all
+// history describes behaviour that no longer exists.
+func (m *CPIModel) ResetTo(ways int, cpi float64, interval int) {
+	for w := range m.points {
+		delete(m.points, w)
+		delete(m.stamp, w)
+	}
+	m.Observe(ways, cpi, interval)
+}
+
+// Prune drops points last observed before `oldest`, but never below
+// two points (the freshest two are always kept), so a fit remains
+// possible. Pruning implements the paper's "models are updated after
+// each execution interval" under phase changes: measurements from a
+// previous phase stop informing the current one.
+func (m *CPIModel) Prune(oldest int) {
+	if len(m.points) <= 2 {
+		return
+	}
+	type entry struct {
+		ways  int
+		stamp int
+	}
+	entries := make([]entry, 0, len(m.points))
+	for w, s := range m.stamp {
+		entries = append(entries, entry{w, s})
+	}
+	// Freshest first; ties by way count for determinism.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].stamp != entries[j].stamp {
+			return entries[i].stamp > entries[j].stamp
+		}
+		return entries[i].ways < entries[j].ways
+	})
+	for i, e := range entries {
+		if i < 2 {
+			continue
+		}
+		if e.stamp < oldest {
+			delete(m.points, e.ways)
+			delete(m.stamp, e.ways)
+		}
+	}
+}
+
+// Len returns the number of distinct way counts observed.
+func (m *CPIModel) Len() int { return len(m.points) }
+
+// Points returns the data points sorted by way count.
+func (m *CPIModel) Points() (ways []int, cpis []float64) {
+	ways = make([]int, 0, len(m.points))
+	for w := range m.points {
+		ways = append(ways, w)
+	}
+	sort.Ints(ways)
+	cpis = make([]float64, len(ways))
+	for i, w := range ways {
+		cpis[i] = m.points[w]
+	}
+	return ways, cpis
+}
+
+// Fit returns an interpolator over the model's points using the given
+// spline kind, or nil if the model is empty.
+func (m *CPIModel) Fit(kind spline.Kind) spline.Interpolator {
+	if len(m.points) == 0 {
+		return nil
+	}
+	ways, cpis := m.Points()
+	xs := make([]float64, len(ways))
+	for i, w := range ways {
+		xs[i] = float64(w)
+	}
+	in, err := spline.Fit(kind, xs, cpis)
+	if err != nil {
+		return nil // unreachable with non-empty points; defensive
+	}
+	return in
+}
+
+// predictor evaluates a fitted model with *linear* extrapolation beyond
+// the observed way range (the spline itself clamps). Without this the
+// engine could never predict a benefit from allocations it has not yet
+// tried, and the search would freeze at the edge of its data.
+// Extrapolated CPIs are floored at a small positive value.
+type predictor struct {
+	fit         spline.Interpolator
+	loX, hiX    float64
+	loY, hiY    float64
+	loSlope     float64
+	hiSlope     float64
+	fallback    float64
+	singlePoint bool
+}
+
+// newPredictor builds a predictor from a model; fallback is used when
+// the model is empty.
+func newPredictor(m *CPIModel, kind spline.Kind, fallback float64) predictor {
+	ways, cpis := m.Points()
+	if len(ways) == 0 {
+		return predictor{fallback: fallback, singlePoint: true}
+	}
+	p := predictor{fit: m.Fit(kind)}
+	p.loX, p.hiX = float64(ways[0]), float64(ways[len(ways)-1])
+	p.loY, p.hiY = cpis[0], cpis[len(cpis)-1]
+	if len(ways) == 1 {
+		p.singlePoint = true
+		p.fallback = cpis[0]
+		return p
+	}
+	p.loSlope = (cpis[1] - cpis[0]) / (float64(ways[1]) - float64(ways[0]))
+	n := len(ways)
+	p.hiSlope = (cpis[n-1] - cpis[n-2]) / (float64(ways[n-1]) - float64(ways[n-2]))
+	return p
+}
+
+// eval predicts CPI at w ways.
+func (p predictor) eval(w int) float64 {
+	if p.singlePoint {
+		return p.fallback
+	}
+	x := float64(w)
+	var y float64
+	switch {
+	case x < p.loX:
+		y = p.loY + p.loSlope*(x-p.loX)
+	case x > p.hiX:
+		y = p.hiY + p.hiSlope*(x-p.hiX)
+	default:
+		return p.fit.Eval(x)
+	}
+	const minCPI = 0.5
+	if y < minCPI {
+		y = minCPI
+	}
+	return y
+}
+
+// ModelEngine implements the paper's Sec. VI-B dynamic model-based
+// partitioning (Fig. 13):
+//
+//   - the first interval runs with equal partitions (installed by the
+//     simulator before the engine is ever consulted);
+//   - at the end of the first two intervals the CPI-proportional rule
+//     is applied, harvesting two differently-shaped data points per
+//     thread;
+//   - from then on, each thread's (ways, CPI) history is fitted with a
+//     cubic spline, and the engine iteratively moves one way from the
+//     lowest-predicted-CPI thread to the highest-predicted-CPI thread,
+//     re-predicting both CPIs from the models after each move, until
+//     the identity of the critical (highest-CPI) thread changes — then
+//     it backs off one step and installs the result (Fig. 13 Step 2).
+type ModelEngine struct {
+	// Kind selects the interpolation algorithm (default NaturalCubic,
+	// the paper's choice).
+	Kind spline.Kind
+	// MinWays is the smallest allocation any thread may hold (default 1).
+	MinWays int
+	// Blend is the CPIModel observation blend (default 0.6).
+	Blend float64
+	// MaxPointAge prunes model points older than this many intervals
+	// (default 12; 0 disables pruning).
+	MaxPointAge int
+	// BootstrapIntervals is how many leading intervals use the
+	// CPI-proportional rule to harvest diverse data points (default 2,
+	// as in the paper's Fig. 13).
+	BootstrapIntervals int
+	// MinSpread is the hysteresis guard: when the predicted CPIs at the
+	// current assignment are within a relative band of (1 + MinSpread),
+	// the threads are considered balanced and the assignment is left
+	// alone. Without it, interval noise on balanced (cache-resident)
+	// applications drives pointless repartitioning that can thrash the
+	// cache. Default 0.08.
+	MinSpread float64
+	// PhaseDetect, when true, attaches a PhaseDetector and resets a
+	// thread's CPI model the moment its CPI jumps out of its baseline
+	// band — immediate forgetting on phase changes instead of waiting
+	// out MaxPointAge. Off by default; the phase ablation benchmark
+	// measures its value.
+	PhaseDetect bool
+
+	// MaxMovePerInterval caps how many ways one Decide call may move
+	// (0 = Ways/8, minimum 2). Models fitted from a handful of noisy
+	// interval samples extrapolate poorly far from their data; the cap
+	// turns a potentially catastrophic mispredicted jump into a bounded
+	// step that the next interval's fresh observation corrects.
+	MaxMovePerInterval int
+
+	boot     *CPIProportionalEngine
+	models   []*CPIModel
+	detector *PhaseDetector
+	interval int
+}
+
+// NewModelEngine returns a ModelEngine with the paper's defaults.
+func NewModelEngine() *ModelEngine {
+	return &ModelEngine{
+		Kind:               spline.NaturalCubic,
+		MinWays:            1,
+		Blend:              0.6,
+		MaxPointAge:        12,
+		BootstrapIntervals: 2,
+		MinSpread:          0.08,
+	}
+}
+
+// Name implements Engine.
+func (e *ModelEngine) Name() string { return "model-based" }
+
+// Models returns the per-thread CPI models accumulated so far (nil
+// before the first Decide call). Used by the Fig. 15 reproduction.
+func (e *ModelEngine) Models() []*CPIModel { return e.models }
+
+func (e *ModelEngine) ensure(n int) {
+	if e.models == nil {
+		e.models = make([]*CPIModel, n)
+		for i := range e.models {
+			e.models[i] = NewCPIModel(e.Blend)
+		}
+		e.boot = &CPIProportionalEngine{MinWays: e.minWays()}
+		if e.PhaseDetect {
+			e.detector = NewPhaseDetector(n)
+		}
+	}
+}
+
+func (e *ModelEngine) minWays() int {
+	if e.MinWays <= 0 {
+		return 1
+	}
+	return e.MinWays
+}
+
+// Decide implements Engine.
+func (e *ModelEngine) Decide(iv sim.IntervalStats, mon sim.Monitors, current []int) []int {
+	e.ensure(mon.NumThreads())
+	// Record this interval's data points: (ways the thread ran with,
+	// CPI it achieved), then age out pre-phase-change points. The very
+	// first interval is skipped: it runs on cold caches and its inflated
+	// CPIs would teach every model a spurious slope.
+	if e.interval > 0 {
+		for t, ts := range iv.Threads {
+			e.models[t].Observe(ts.WaysAssigned, ts.CPI(), e.interval)
+			if e.MaxPointAge > 0 {
+				e.models[t].Prune(e.interval - e.MaxPointAge)
+			}
+		}
+		if e.detector != nil {
+			obs := make([]float64, len(iv.Threads))
+			for t, ts := range iv.Threads {
+				obs[t] = ts.CPI()
+			}
+			for t, flagged := range e.detector.Observe(obs) {
+				if flagged {
+					e.models[t].ResetTo(iv.Threads[t].WaysAssigned, obs[t], e.interval)
+				}
+			}
+		}
+	}
+	e.interval++
+	// Bootstrap: the paper applies the CPI-based rule at the end of the
+	// first two intervals to collect diverse data points.
+	if e.interval <= e.bootstrapIntervals() {
+		return e.boot.Decide(iv, mon, current)
+	}
+	return e.partition(iv, mon, current)
+}
+
+func (e *ModelEngine) bootstrapIntervals() int {
+	if e.BootstrapIntervals <= 0 {
+		return 2
+	}
+	return e.BootstrapIntervals
+}
+
+// partition runs the Fig. 13 iterative reassignment over the fitted
+// models. The whole search operates in model space: every thread's CPI
+// is the model's prediction at its tentative allocation, so a stale
+// model point at the current allocation cannot masquerade as ground
+// truth next to fresh observations (the current observation was just
+// blended into the model by Decide).
+func (e *ModelEngine) partition(iv sim.IntervalStats, mon sim.Monitors, current []int) []int {
+	n := mon.NumThreads()
+	totalWays := mon.Ways()
+	minWays := e.minWays()
+	if minWays*n > totalWays {
+		minWays = totalWays / n
+	}
+
+	preds := make([]predictor, n)
+	for t := 0; t < n; t++ {
+		preds[t] = newPredictor(e.models[t], e.Kind, iv.Threads[t].CPI())
+	}
+
+	// Working assignment starts from what is currently installed.
+	ways := make([]int, n)
+	if len(current) == n {
+		copy(ways, current)
+	} else {
+		copy(ways, equalSplit(totalWays, n))
+	}
+
+	cpi := make([]float64, n)
+	for t := 0; t < n; t++ {
+		cpi[t] = preds[t].eval(ways[t])
+	}
+
+	// Hysteresis: balanced threads stay balanced. Use both the model's
+	// view and this interval's observed CPIs, so a thread whose reality
+	// has diverged from a stale model still triggers repartitioning.
+	if e.MinSpread > 0 {
+		obs := make([]float64, n)
+		for t, ts := range iv.Threads {
+			obs[t] = ts.CPI()
+		}
+		if relSpread(cpi) <= e.MinSpread && relSpread(obs) <= e.MinSpread {
+			return nil
+		}
+	}
+
+	// Iterate: move one way from the fastest thread to the critical
+	// (highest-predicted-CPI) thread; re-predict; keep going while the
+	// descending-sorted CPI vector strictly improves lexicographically,
+	// and revert the last step when it stops improving (Fig. 13 Step 2).
+	// Two deliberate strengthenings of the paper's literal pseudocode:
+	//
+	//   - The paper exits when the *identity* of the critical thread
+	//     changes. With two or more threads near-tied as critical (a
+	//     state the search itself can create), that rule freezes even
+	//     though all tied threads should receive ways from the genuinely
+	//     fast thread. Lexicographic descent on the sorted CPI vector
+	//     subsumes the paper's rule — a move that worsens the overall
+	//     maximum still reverts — but makes progress through ties.
+	//
+	//   - Predictions are clamped to be monotone-rational: gaining a
+	//     way never predicts a higher CPI, losing a way never predicts
+	//     a lower one. Otherwise a warmup- or noise-inverted model
+	//     ("this thread got faster when its allocation shrank") offers
+	//     the search a free lunch and it drains that thread dry.
+	//
+	// Movement per decision is capped (see MaxMovePerInterval), and a
+	// hard iteration bound guarantees termination on flat models.
+	maxMove := e.MaxMovePerInterval
+	if maxMove <= 0 {
+		maxMove = totalWays / 8
+	}
+	if maxMove < 2 {
+		maxMove = 2
+	}
+	// donated[d] counts ways taken from thread d this decision; capping
+	// it bounds how wrong a single mispredicted donor can go before the
+	// next interval's observation corrects its model.
+	donated := make([]int, n)
+	const perDonorCap = 2
+	moved := 0
+	prev := sortedDesc(cpi)
+	for iter := 0; iter < maxMove; iter++ {
+		maxT := argMaxF(cpi)
+		// Donor choice: the paper takes from the lowest-CPI thread, but
+		// the cheapest-*looking* thread is not always the cheapest
+		// donor — its model may predict a steep cliff one way down
+		// (e.g. a stale low-allocation data point). Choosing the donor
+		// with the lowest *predicted post-donation* CPI uses the models
+		// the way the paper intends ("whether the repartitioning has
+		// actually helped or not is taken into account") and cannot
+		// freeze on a single scarred model while a surplus-rich thread
+		// sits next to it.
+		minT := argMinDonor(preds, ways, donated, perDonorCap, minWays, maxT)
+		if minT < 0 || minT == maxT {
+			break
+		}
+		oldMaxCPI, oldMinCPI := cpi[maxT], cpi[minT]
+		ways[maxT]++
+		ways[minT]--
+		gain := preds[maxT].eval(ways[maxT])
+		if gain > oldMaxCPI {
+			gain = oldMaxCPI // receiving a way never hurts
+		}
+		cost := preds[minT].eval(ways[minT])
+		if cost < oldMinCPI {
+			cost = oldMinCPI // losing a way never helps
+		}
+		cpi[maxT], cpi[minT] = gain, cost
+		next := sortedDesc(cpi)
+		if !lexLess(next, prev) {
+			// No predicted improvement of the critical path (flat or
+			// adverse models, or the donor becomes the bottleneck):
+			// revert this step and stop.
+			ways[maxT]--
+			ways[minT]++
+			cpi[maxT], cpi[minT] = oldMaxCPI, oldMinCPI
+			break
+		}
+		donated[minT]++
+		prev = next
+		moved++
+	}
+	// Exploration: when no move was accepted but the threads are
+	// clearly imbalanced, the critical thread's model is usually flat —
+	// not because more ways would not help, but because the thread has
+	// only ever been observed near one allocation (a thread that
+	// bootstrapped small never gets data showing its curve). Grant it
+	// one way from the cheapest donor anyway, guarded so the donor is
+	// not predicted to become a worse bottleneck than the thread being
+	// helped; next interval's observation then extends the model and
+	// ordinary descent takes over.
+	if moved == 0 {
+		obs := make([]float64, n)
+		for t, ts := range iv.Threads {
+			obs[t] = ts.CPI()
+		}
+		// The threshold is double the descent hysteresis: exploration
+		// perturbs a converged state, so it needs stronger evidence of
+		// imbalance than ordinary model-driven moves do.
+		if relSpread(obs) > 2*e.MinSpread {
+			maxT := argMaxF(cpi)
+			minT := argMinDonor(preds, ways, donated, perDonorCap, minWays, maxT)
+			if minT >= 0 && minT != maxT && preds[minT].eval(ways[minT]-1) < cpi[maxT] {
+				ways[maxT]++
+				ways[minT]--
+			}
+		}
+	}
+	if err := validAssignment(ways, totalWays, n); err != nil {
+		// Defensive: never hand the simulator a broken assignment.
+		return equalSplit(totalWays, n)
+	}
+	return ways
+}
+
+// sortedDesc returns a copy of xs sorted descending.
+func sortedDesc(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// lexLess reports whether a < b lexicographically with a small absolute
+// tolerance (entries within eps are equal).
+func lexLess(a, b []float64) bool {
+	const eps = 1e-9
+	for i := range a {
+		switch {
+		case a[i] < b[i]-eps:
+			return true
+		case a[i] > b[i]+eps:
+			return false
+		}
+	}
+	return false
+}
+
+// relSpread returns max/min - 1 over the positive entries of xs (0 when
+// fewer than two are positive).
+func relSpread(xs []float64) float64 {
+	lo, hi := 0.0, 0.0
+	count := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		if count == 0 || x < lo {
+			lo = x
+		}
+		if count == 0 || x > hi {
+			hi = x
+		}
+		count++
+	}
+	if count < 2 || lo == 0 {
+		return 0
+	}
+	return hi/lo - 1
+}
+
+// argMaxF returns the index of the largest element (first on ties).
+func argMaxF(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// argMinDonor returns the eligible thread whose predicted CPI *after*
+// donating one way is lowest, excluding `skip`, threads at the way
+// floor, and threads that already donated `cap` ways this decision;
+// -1 if none qualifies.
+func argMinDonor(preds []predictor, ways, donated []int, cap, minWays, skip int) int {
+	best := -1
+	var bestCost float64
+	for i := range preds {
+		if i == skip || ways[i] <= minWays || donated[i] >= cap {
+			continue
+		}
+		cost := preds[i].eval(ways[i] - 1)
+		if best == -1 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+package core
+
+// PhaseDetector flags per-thread execution-phase changes from the CPI
+// stream. The paper observes (Sec. IV-A1, Figs. 6/7) that threads move
+// through phases and that the critical thread can change with them; the
+// ModelEngine's default defence is age-based point pruning, which
+// forgets slowly and uniformly. The detector is the sharper instrument:
+// it tracks an exponentially-weighted CPI baseline per thread and flags
+// an interval whose CPI deviates from the baseline by more than a
+// relative threshold. The engine can then discard that thread's model
+// immediately instead of waiting out the age window.
+type PhaseDetector struct {
+	// Threshold is the relative CPI deviation that signals a phase
+	// change (default 0.35; phases in the paper's workloads move CPI by
+	// far more than interval noise does).
+	Threshold float64
+	// Alpha is the EWMA weight of the newest observation (default 0.25).
+	Alpha float64
+
+	ewma []float64
+	seen []bool
+}
+
+// NewPhaseDetector returns a detector for n threads with defaults.
+func NewPhaseDetector(n int) *PhaseDetector {
+	return &PhaseDetector{
+		Threshold: 0.35,
+		Alpha:     0.25,
+		ewma:      make([]float64, n),
+		seen:      make([]bool, n),
+	}
+}
+
+// Observe consumes one interval's per-thread CPIs and returns, for each
+// thread, whether this interval looks like the start of a new phase.
+// The first observation of a thread never flags (no baseline yet), and
+// a flagged interval resets that thread's baseline so one phase change
+// produces one flag, not a run of them.
+func (d *PhaseDetector) Observe(cpis []float64) []bool {
+	if len(cpis) != len(d.ewma) {
+		// Thread count changed (defensive; cannot happen in one run).
+		d.ewma = make([]float64, len(cpis))
+		d.seen = make([]bool, len(cpis))
+	}
+	flags := make([]bool, len(cpis))
+	for t, cpi := range cpis {
+		if cpi <= 0 {
+			continue
+		}
+		if !d.seen[t] {
+			d.ewma[t] = cpi
+			d.seen[t] = true
+			continue
+		}
+		base := d.ewma[t]
+		dev := cpi - base
+		if dev < 0 {
+			dev = -dev
+		}
+		if base > 0 && dev/base > d.Threshold {
+			flags[t] = true
+			d.ewma[t] = cpi // restart the baseline in the new phase
+			continue
+		}
+		d.ewma[t] = d.Alpha*cpi + (1-d.Alpha)*base
+	}
+	return flags
+}
+
+// Baseline returns thread t's current EWMA baseline (0 before any
+// observation).
+func (d *PhaseDetector) Baseline(t int) float64 {
+	if t < 0 || t >= len(d.ewma) {
+		return 0
+	}
+	return d.ewma[t]
+}

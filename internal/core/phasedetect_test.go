@@ -1,0 +1,158 @@
+package core
+
+import "testing"
+
+func TestPhaseDetectorFirstObservationNeverFlags(t *testing.T) {
+	d := NewPhaseDetector(3)
+	flags := d.Observe([]float64{5, 50, 500})
+	for i, f := range flags {
+		if f {
+			t.Errorf("thread %d flagged on first observation", i)
+		}
+	}
+}
+
+func TestPhaseDetectorFlagsJump(t *testing.T) {
+	d := NewPhaseDetector(2)
+	d.Observe([]float64{5, 5})
+	// Thread 0 jumps 2x (new phase); thread 1 drifts 5% (noise).
+	flags := d.Observe([]float64{10, 5.25})
+	if !flags[0] {
+		t.Error("2x CPI jump not flagged")
+	}
+	if flags[1] {
+		t.Error("5% drift flagged")
+	}
+}
+
+func TestPhaseDetectorOneFlagPerPhaseChange(t *testing.T) {
+	d := NewPhaseDetector(1)
+	d.Observe([]float64{5})
+	if !d.Observe([]float64{12})[0] {
+		t.Fatal("jump not flagged")
+	}
+	// Staying at the new level must not keep flagging.
+	for i := 0; i < 5; i++ {
+		if d.Observe([]float64{12})[0] {
+			t.Fatalf("steady new phase re-flagged at interval %d", i)
+		}
+	}
+	// Dropping back is another phase change.
+	if !d.Observe([]float64{5})[0] {
+		t.Error("return jump not flagged")
+	}
+}
+
+func TestPhaseDetectorDownwardJump(t *testing.T) {
+	d := NewPhaseDetector(1)
+	d.Observe([]float64{10})
+	if !d.Observe([]float64{4})[0] {
+		t.Error("downward phase change not flagged")
+	}
+}
+
+func TestPhaseDetectorIgnoresZeroCPI(t *testing.T) {
+	d := NewPhaseDetector(1)
+	d.Observe([]float64{5})
+	if d.Observe([]float64{0})[0] {
+		t.Error("zero CPI flagged")
+	}
+	// Baseline unchanged by the zero sample.
+	if got := d.Baseline(0); got != 5 {
+		t.Errorf("baseline = %v, want 5", got)
+	}
+}
+
+func TestPhaseDetectorBaselineTracksSlowDrift(t *testing.T) {
+	d := NewPhaseDetector(1)
+	d.Observe([]float64{5})
+	// A slow ramp (4% per interval) should never flag: the EWMA keeps up.
+	cpi := 5.0
+	for i := 0; i < 30; i++ {
+		cpi *= 1.04
+		if d.Observe([]float64{cpi})[0] {
+			t.Fatalf("slow drift flagged at interval %d (cpi %.2f, baseline %.2f)",
+				i, cpi, d.Baseline(0))
+		}
+	}
+}
+
+func TestPhaseDetectorBaselineAccessor(t *testing.T) {
+	d := NewPhaseDetector(2)
+	if d.Baseline(-1) != 0 || d.Baseline(2) != 0 {
+		t.Error("out-of-range baseline nonzero")
+	}
+	d.Observe([]float64{3, 7})
+	if d.Baseline(0) != 3 || d.Baseline(1) != 7 {
+		t.Error("baselines not seeded from first observation")
+	}
+}
+
+func TestCPIModelResetTo(t *testing.T) {
+	m := NewCPIModel(1)
+	m.Observe(8, 10, 1)
+	m.Observe(16, 6, 2)
+	m.ResetTo(12, 7, 3)
+	if m.Len() != 1 {
+		t.Fatalf("len after reset = %d", m.Len())
+	}
+	ways, cpis := m.Points()
+	if ways[0] != 12 || cpis[0] != 7 {
+		t.Errorf("reset point = (%d, %v)", ways[0], cpis[0])
+	}
+}
+
+func TestModelEnginePhaseDetectResetsModels(t *testing.T) {
+	e := NewModelEngine()
+	e.PhaseDetect = true
+	e.BootstrapIntervals = 1
+	mon := fakeMon{ways: 32, threads: 4}
+	cur := []int{8, 8, 8, 8}
+	feed := func(i int, cpis []float64) {
+		if got := e.Decide(ivWith(i, cpis, cur), mon, cur); got != nil {
+			cur = got
+		}
+	}
+	// Build up history for thread 0 in its first phase.
+	feed(0, []float64{4, 4, 4, 4})
+	feed(1, []float64{4.1, 4, 4, 4})
+	feed(2, []float64{4, 4.1, 4, 4})
+	feed(3, []float64{4.1, 4, 4.1, 4})
+	before := e.Models()[0].Len()
+	if before < 1 {
+		t.Fatalf("no history accumulated (len %d)", before)
+	}
+	// Thread 0's CPI triples: phase change; its model must collapse to
+	// the single fresh point.
+	feed(4, []float64{12, 4, 4, 4})
+	if got := e.Models()[0].Len(); got != 1 {
+		t.Errorf("model length after phase change = %d, want 1", got)
+	}
+	// Other threads keep their history.
+	if got := e.Models()[1].Len(); got < 1 {
+		t.Errorf("unaffected thread lost its model (len %d)", got)
+	}
+}
+
+func TestModelEnginePhaseDetectStillValid(t *testing.T) {
+	// End-to-end sanity: engine with detection on produces valid
+	// assignments through phase churn.
+	e := NewModelEngine()
+	e.PhaseDetect = true
+	mon := fakeMon{ways: 64, threads: 4}
+	cur := []int{16, 16, 16, 16}
+	cpis := [][]float64{
+		{3, 3, 9, 3}, {3, 3, 8, 3}, {3, 3, 8.5, 3},
+		{9, 3, 3, 3}, {8.5, 3, 3.2, 3}, {8, 3, 3, 3}, // critical thread moves
+	}
+	for i, c := range cpis {
+		got := e.Decide(ivWith(i, c, cur), mon, cur)
+		if got == nil {
+			continue
+		}
+		if err := validAssignment(got, 64, 4); err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+		cur = got
+	}
+}

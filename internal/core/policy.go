@@ -1,0 +1,94 @@
+package core
+
+import "fmt"
+
+// Policy identifies one of the cache-management schemes the paper
+// evaluates. It selects both the L2 organization and the partition
+// engine; see PolicyInfo.
+type Policy int
+
+const (
+	// PolicyShared is the unpartitioned shared cache (global LRU),
+	// the paper's "shared cache" baseline (Fig. 20).
+	PolicyShared Policy = iota
+	// PolicyPrivate splits the L2 into equal private per-core caches —
+	// the paper's "statically partitioned cache (private cache)"
+	// baseline (Fig. 19), which also represents the fairness-optimal
+	// configuration.
+	PolicyPrivate
+	// PolicyStaticEqual is a partitioned *shared* cache with a fixed
+	// equal way split: like PolicyPrivate it gives every thread the
+	// same capacity, but cross-partition hits remain possible. Used by
+	// the ablation comparing eviction control against true privacy.
+	PolicyStaticEqual
+	// PolicyCPIProportional is the paper's Sec. VI-A scheme: way counts
+	// proportional to last-interval CPIs.
+	PolicyCPIProportional
+	// PolicyModelBased is the paper's Sec. VI-B headline scheme:
+	// spline-fitted CPI-vs-ways models driving the iterative
+	// move-a-way-to-the-critical-thread search.
+	PolicyModelBased
+	// PolicyThroughputUCP is the throughput-oriented comparison scheme
+	// (Fig. 21): greedy marginal-hit-gain allocation from UMON curves.
+	PolicyThroughputUCP
+	// PolicyTADIP is thread-aware dynamic insertion (the paper's
+	// related work [17]/[22]): no partitioning at all — the shared
+	// cache's insertion policy adapts per thread via set dueling. An
+	// extra baseline beyond the paper's three.
+	PolicyTADIP
+)
+
+// AllPolicies lists every policy in presentation order.
+func AllPolicies() []Policy {
+	return []Policy{
+		PolicyShared, PolicyPrivate, PolicyStaticEqual,
+		PolicyCPIProportional, PolicyModelBased, PolicyThroughputUCP,
+		PolicyTADIP,
+	}
+}
+
+// String returns the policy's short name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyShared:
+		return "shared"
+	case PolicyPrivate:
+		return "private"
+	case PolicyStaticEqual:
+		return "static-equal"
+	case PolicyCPIProportional:
+		return "cpi-proportional"
+	case PolicyModelBased:
+		return "model-based"
+	case PolicyThroughputUCP:
+		return "throughput-ucp"
+	case PolicyTADIP:
+		return "tadip"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a short name to a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// IsDynamic reports whether the policy repartitions at interval
+// boundaries (and therefore needs a partitioned L2 and a controller).
+func (p Policy) IsDynamic() bool {
+	switch p {
+	case PolicyCPIProportional, PolicyModelBased, PolicyThroughputUCP:
+		return true
+	default:
+		return false
+	}
+}
+
+// NeedsUMON reports whether the policy consumes shadow-tag miss curves.
+func (p Policy) NeedsUMON() bool { return p == PolicyThroughputUCP }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"intracache/internal/sim"
+)
+
+// Decision records one partitioning step taken by the runtime system:
+// which interval it ended, what the engine assigned for the next
+// interval, and the per-thread CPIs that drove the choice. The Fig. 18
+// snapshot table is rendered directly from this log.
+type Decision struct {
+	Interval int
+	CPIs     []float64
+	Targets  []int // nil means "kept the previous assignment"
+}
+
+// RuntimeSystem is the paper's runtime system (Fig. 17): it implements
+// sim.Controller, feeding each interval's monitor readings to a
+// partition engine and handing the engine's assignment back to the
+// simulator (the configuration unit). It also keeps a decision log for
+// the evaluation harness.
+type RuntimeSystem struct {
+	engine Engine
+	log    []Decision
+	// MaxLog bounds the decision log (0 = unbounded); long paper-scale
+	// runs keep the most recent entries.
+	MaxLog int
+}
+
+// NewRuntimeSystem wraps an engine. A nil engine is rejected.
+func NewRuntimeSystem(engine Engine) (*RuntimeSystem, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: nil partition engine")
+	}
+	return &RuntimeSystem{engine: engine}, nil
+}
+
+// Engine returns the wrapped partition engine.
+func (r *RuntimeSystem) Engine() Engine { return r.engine }
+
+// Decisions returns the decision log.
+func (r *RuntimeSystem) Decisions() []Decision { return r.log }
+
+// OnInterval implements sim.Controller.
+func (r *RuntimeSystem) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+	targets := r.engine.Decide(iv, mon, currentFrom(iv))
+	if targets != nil {
+		if err := validAssignment(targets, mon.Ways(), mon.NumThreads()); err != nil {
+			panic(fmt.Sprintf("core: engine %s produced invalid assignment: %v", r.engine.Name(), err))
+		}
+	}
+	cpis := make([]float64, len(iv.Threads))
+	for t, ts := range iv.Threads {
+		cpis[t] = ts.CPI()
+	}
+	d := Decision{Interval: iv.Index, CPIs: cpis}
+	if targets != nil {
+		d.Targets = append([]int(nil), targets...)
+	}
+	r.log = append(r.log, d)
+	if r.MaxLog > 0 && len(r.log) > r.MaxLog {
+		r.log = r.log[len(r.log)-r.MaxLog:]
+	}
+	return targets
+}
+
+// currentFrom recovers the assignment the interval ran under from the
+// per-thread WaysAssigned snapshots.
+func currentFrom(iv sim.IntervalStats) []int {
+	out := make([]int, len(iv.Threads))
+	for t, ts := range iv.Threads {
+		out[t] = ts.WaysAssigned
+	}
+	return out
+}
+
+// NewEngine constructs the partition engine for a dynamic policy.
+// Non-dynamic policies have no engine and return an error.
+func NewEngine(p Policy) (Engine, error) {
+	switch p {
+	case PolicyCPIProportional:
+		return NewCPIProportionalEngine(), nil
+	case PolicyModelBased:
+		return NewModelEngine(), nil
+	case PolicyThroughputUCP:
+		return NewUCPEngine(), nil
+	case PolicyStaticEqual:
+		return EqualEngine{}, nil
+	default:
+		return nil, fmt.Errorf("core: policy %v has no partition engine", p)
+	}
+}
+
+// L2OrgFor maps a policy to the L2 organization it runs on.
+func L2OrgFor(p Policy) sim.L2Organization {
+	switch p {
+	case PolicyShared:
+		return sim.L2Shared
+	case PolicyPrivate:
+		return sim.L2PrivatePerCore
+	case PolicyTADIP:
+		return sim.L2TADIP
+	default:
+		return sim.L2Partitioned
+	}
+}
+
+// ControllerFor returns the sim.Controller for a policy (nil for
+// policies that never repartition: shared, private, static-equal).
+// For dynamic policies the returned RuntimeSystem is also returned as
+// its concrete type for introspection.
+func ControllerFor(p Policy) (sim.Controller, *RuntimeSystem, error) {
+	if !p.IsDynamic() {
+		return nil, nil, nil
+	}
+	eng, err := NewEngine(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rts, err := NewRuntimeSystem(eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rts, rts, nil
+}

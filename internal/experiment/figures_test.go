@@ -1,0 +1,334 @@
+package experiment
+
+import (
+	"testing"
+
+	"intracache/internal/stats"
+)
+
+// figCfg is a reduced configuration that still exercises every figure
+// driver meaningfully.
+func figCfg() Config {
+	c := QuickConfig()
+	c.Intervals = 12
+	return c
+}
+
+func TestFig3ThreadPerformance(t *testing.T) {
+	series, err := Fig3ThreadPerformance(figCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 9 {
+		t.Fatalf("series = %d, want 9", len(series))
+	}
+	for _, s := range series {
+		if len(s.Values) != 4 {
+			t.Fatalf("%s: %d values", s.Benchmark, len(s.Values))
+		}
+		mx, err := stats.Max(s.Values)
+		if err != nil || mx != 1 {
+			t.Errorf("%s: max normalised value %v, want 1", s.Benchmark, mx)
+		}
+		mn, _ := stats.Min(s.Values)
+		if mn <= 0 || mn > 1 {
+			t.Errorf("%s: min normalised value %v out of (0,1]", s.Benchmark, mn)
+		}
+	}
+	// The large-footprint benchmarks must show real spread: the slowest
+	// thread clearly slower than the fastest.
+	for _, s := range series {
+		switch s.Benchmark {
+		case "swim", "mgrid", "cg", "art":
+			mn, _ := stats.Min(s.Values)
+			if mn > 0.9 {
+				t.Errorf("%s: thread spread too small (min %v)", s.Benchmark, mn)
+			}
+		}
+	}
+}
+
+func TestFig4ThreadMisses(t *testing.T) {
+	series, err := Fig4ThreadMisses(figCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 9 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		mx, err := stats.Max(s.Values)
+		if err != nil || mx != 1 {
+			t.Errorf("%s: max normalised misses %v, want 1", s.Benchmark, mx)
+		}
+	}
+}
+
+func TestFig3Fig4SlowestThreadMissesMost(t *testing.T) {
+	// The paper's core observation: the slowest thread is the one with
+	// the most misses. Check for the strongly-imbalanced benchmarks.
+	cfg := figCfg()
+	perf, err := Fig3ThreadPerformance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := Fig4ThreadMisses(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perf {
+		switch p.Benchmark {
+		case "swim", "mgrid", "cg", "art", "equake":
+			slowest, _ := stats.ArgMin(p.Values)
+			missiest, _ := stats.ArgMax(miss[i].Values)
+			if slowest != missiest {
+				t.Errorf("%s: slowest thread %d but most misses on %d",
+					p.Benchmark, slowest, missiest)
+			}
+		}
+	}
+}
+
+func TestFig5Correlation(t *testing.T) {
+	corrs, avg, err := Fig5Correlation(figCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrs) != 9 {
+		t.Fatalf("correlations = %d", len(corrs))
+	}
+	for _, c := range corrs {
+		if c.R < 0.5 || c.R > 1 {
+			t.Errorf("%s: CPI-miss correlation %v implausibly weak", c.Benchmark, c.R)
+		}
+	}
+	// The paper reports an average of ~0.97; require the strong-linear
+	// regime to reproduce.
+	if avg < 0.85 {
+		t.Errorf("average correlation %v, want >= 0.85", avg)
+	}
+}
+
+func TestFig6SwimPhases(t *testing.T) {
+	cfg := figCfg()
+	cfg.Intervals = 24
+	series, err := Fig6SwimPhases(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Threads) != 4 {
+		t.Fatalf("threads = %d", len(series.Threads))
+	}
+	for th, vals := range series.Threads {
+		if len(vals) != cfg.Intervals {
+			t.Fatalf("thread %d has %d intervals", th, len(vals))
+		}
+		for i, v := range vals {
+			if v <= 0 || v > 1.5 {
+				t.Errorf("thread %d interval %d IPC %v out of range", th, i, v)
+			}
+		}
+	}
+	// Thread 0 carries a sine phase schedule: its performance must vary
+	// noticeably across intervals.
+	v := stats.Variance(series.Threads[0][2:]) // skip warmup
+	m := stats.Mean(series.Threads[0][2:])
+	if m <= 0 || v/(m*m) < 0.001 {
+		t.Errorf("swim thread 0 shows no phase variability (CV^2=%v)", v/(m*m))
+	}
+}
+
+func TestFig7SwimMisses(t *testing.T) {
+	cfg := figCfg()
+	cfg.Intervals = 24
+	series, variable, err := Fig7SwimMisses(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variable < 0 || variable >= 4 {
+		t.Fatalf("variable thread index %d", variable)
+	}
+	// The flagged thread must really have the highest variance.
+	flagVar := stats.Variance(series.Threads[variable])
+	for th, vals := range series.Threads {
+		if v := stats.Variance(vals); v > flagVar {
+			t.Errorf("thread %d variance %v exceeds flagged thread's %v", th, v, flagVar)
+		}
+	}
+}
+
+func TestFig8And9Interaction(t *testing.T) {
+	stats9, avg, err := Fig8And9Interaction(figCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats9) != 9 {
+		t.Fatalf("stats = %d", len(stats9))
+	}
+	for _, s := range stats9 {
+		if s.InterThreadPct <= 0 || s.InterThreadPct > 60 {
+			t.Errorf("%s: inter-thread %v%% out of plausible band", s.Benchmark, s.InterThreadPct)
+		}
+		if s.ConstructivePct < 0 || s.ConstructivePct > 100 {
+			t.Errorf("%s: constructive %v%% out of [0,100]", s.Benchmark, s.ConstructivePct)
+		}
+		// The paper's Fig. 9 shows every app has BOTH constructive and
+		// destructive interactions.
+		if s.ConstructivePct == 0 || s.ConstructivePct == 100 {
+			t.Errorf("%s: interaction split degenerate (%v%% constructive)",
+				s.Benchmark, s.ConstructivePct)
+		}
+	}
+	// Paper average ≈ 11.5%; accept a generous band around it.
+	if avg < 2 || avg > 35 {
+		t.Errorf("average inter-thread interaction %v%%, want in [2,35]", avg)
+	}
+}
+
+func TestFig10WaySensitivity(t *testing.T) {
+	ws, err := Fig10WaySensitivity(figCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("threads = %d", len(ws))
+	}
+	var maxDrop, minDrop float64
+	for i, w := range ws {
+		if w.CPI16Ways <= 0 || w.CPI32Ways <= 0 {
+			t.Fatalf("thread %d: zero CPI", w.Thread)
+		}
+		if i == 0 || w.DropPct > maxDrop {
+			maxDrop = w.DropPct
+		}
+		if i == 0 || w.DropPct < minDrop {
+			minDrop = w.DropPct
+		}
+	}
+	// Heterogeneous sensitivity: some thread gains much more than
+	// another from doubling the ways (paper: thread 1 improves a lot,
+	// thread 2 barely).
+	if maxDrop < 10 {
+		t.Errorf("no thread is cache sensitive (max drop %.1f%%)", maxDrop)
+	}
+	if maxDrop-minDrop < 5 {
+		t.Errorf("sensitivity not heterogeneous: drops within %.1f pp", maxDrop-minDrop)
+	}
+}
+
+func TestFig15Models(t *testing.T) {
+	cfg := figCfg()
+	curves, targets, err := Fig15Models(cfg, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Ways) == 0 {
+			t.Errorf("thread %d: no data points", c.Thread)
+		}
+		if len(c.Curve) != cfg.L2Ways {
+			t.Errorf("thread %d: curve length %d", c.Thread, len(c.Curve))
+		}
+	}
+	if len(targets) != 4 {
+		t.Fatalf("targets = %v", targets)
+	}
+	sum := 0
+	for _, w := range targets {
+		sum += w
+	}
+	if sum != cfg.L2Ways {
+		t.Errorf("targets %v sum to %d", targets, sum)
+	}
+}
+
+func TestFig18Snapshot(t *testing.T) {
+	cfg := figCfg()
+	rows, err := Fig18Snapshot(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Interval 1 runs with equal partitions, as in the paper's table.
+	for _, w := range rows[0].Ways {
+		if w != cfg.L2Ways/cfg.NumThreads {
+			t.Errorf("interval 1 ways %v, want equal split", rows[0].Ways)
+		}
+	}
+	// Later intervals must favour cg's critical thread (canonical
+	// thread 2, the big sparse-matrix thread).
+	last := rows[len(rows)-1]
+	for th, w := range last.Ways {
+		if th != 2 && w > last.Ways[2] {
+			t.Errorf("interval %d: thread %d has %d ways > critical thread's %d",
+				last.Interval, th, w, last.Ways[2])
+		}
+	}
+	if rows[0].OverallCPI <= 0 {
+		t.Error("zero overall CPI")
+	}
+	// Defaulting: n <= 0 produces 4 rows.
+	def, err := Fig18Snapshot(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 4 {
+		t.Errorf("default rows = %d, want 4", len(def))
+	}
+}
+
+func TestFig19And20And21ShapesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison sweep is slow")
+	}
+	cfg := QuickConfig()
+	cfg.Sections = 25
+	vsPriv, err := Fig19VsPrivate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vsPriv) != 9 {
+		t.Fatalf("fig19 rows = %d", len(vsPriv))
+	}
+	// Dynamic must beat private overall and on the imbalanced apps.
+	if MeanImprovement(vsPriv) <= 0 {
+		t.Errorf("fig19 mean %.2f%%, want positive", MeanImprovement(vsPriv))
+	}
+	vsShared, err := Fig20VsShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanImprovement(vsShared) < -1 {
+		t.Errorf("fig20 mean %.2f%%, want non-negative", MeanImprovement(vsShared))
+	}
+	vsUCP, err := Fig21VsThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vsUCP) != 9 {
+		t.Fatalf("fig21 rows = %d", len(vsUCP))
+	}
+}
+
+func TestFig22EightCoreQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-core sweep is slow")
+	}
+	cfg := QuickConfig()
+	cfg.Sections = 12
+	res, err := Fig22EightCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VsPrivate) != 9 || len(res.VsShared) != 9 {
+		t.Fatalf("fig22 rows = %d/%d", len(res.VsPrivate), len(res.VsShared))
+	}
+	if MeanImprovement(res.VsPrivate) <= 0 {
+		t.Errorf("8-core vs private mean %.2f%%, want positive", MeanImprovement(res.VsPrivate))
+	}
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"intracache/internal/core"
+	"intracache/internal/workload"
+)
+
+// Simulation runs are single-threaded and independent of one another,
+// so sweeps parallelise perfectly across goroutines. Determinism is
+// preserved: each run's result depends only on its (profile, policy,
+// config) inputs, and results are collected by index.
+
+// CompareAllParallel is CompareAll with the nine benchmarks fanned out
+// over a worker pool. workers <= 0 uses GOMAXPROCS. Results are
+// identical to CompareAll's, in the same order.
+func CompareAllParallel(cfg Config, baseline, candidate core.Policy, workers int) ([]Comparison, error) {
+	profiles := workload.Profiles()
+	out := make([]Comparison, len(profiles))
+	errs := make([]error, len(profiles))
+	forEachIndex(len(profiles), workers, func(i int) {
+		c, err := Compare(cfg, profiles[i], baseline, candidate)
+		out[i], errs[i] = c, err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", profiles[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// SweepPoint is one (label, config) cell of a parameter sweep.
+type SweepPoint struct {
+	Label string
+	Cfg   Config
+}
+
+// SweepResult is one sweep cell's outcome.
+type SweepResult struct {
+	Label          string
+	Benchmark      string
+	ImprovementPct float64
+	BaselineCycles uint64
+	DynamicCycles  uint64
+	Err            error
+}
+
+// Sweep runs baseline-vs-candidate on one benchmark across a set of
+// configurations in parallel and returns one result per point, in
+// order.
+func Sweep(points []SweepPoint, benchmark string, baseline, candidate core.Policy, workers int) ([]SweepResult, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepResult, len(points))
+	forEachIndex(len(points), workers, func(i int) {
+		res := SweepResult{Label: points[i].Label, Benchmark: benchmark}
+		c, err := Compare(points[i].Cfg, prof, baseline, candidate)
+		if err != nil {
+			res.Err = err
+		} else {
+			res.ImprovementPct = c.ImprovementPct
+			res.BaselineCycles = c.BaselineCycles
+			res.DynamicCycles = c.CandidateCycles
+		}
+		out[i] = res
+	})
+	for _, r := range out {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiment: sweep %s: %w", r.Label, r.Err)
+		}
+	}
+	return out, nil
+}
+
+// forEachIndex applies fn to every index in [0, n) using a bounded
+// worker pool.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

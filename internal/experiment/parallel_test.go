@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"intracache/internal/core"
+)
+
+func TestCompareAllParallelMatchesSerial(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 6
+	serial, err := CompareAll(cfg, core.PolicyShared, core.PolicyStaticEqual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CompareAllParallel(cfg, core.PolicyShared, core.PolicyStaticEqual, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestCompareAllParallelDefaultWorkers(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 4
+	cs, err := CompareAllParallel(cfg, core.PolicyShared, core.PolicyStaticEqual, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 9 {
+		t.Fatalf("rows = %d", len(cs))
+	}
+}
+
+func TestSweep(t *testing.T) {
+	base := QuickConfig()
+	base.Sections = 5
+	var points []SweepPoint
+	for _, l2 := range []int{128, 256} {
+		cfg := base
+		cfg.L2KB = l2
+		points = append(points, SweepPoint{Label: "l2-" + itoaTest(l2), Cfg: cfg})
+	}
+	out, err := Sweep(points, "cg", core.PolicyShared, core.PolicyModelBased, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results = %d", len(out))
+	}
+	for i, r := range out {
+		if r.Label != points[i].Label {
+			t.Errorf("result %d label %q, want %q", i, r.Label, points[i].Label)
+		}
+		if r.BaselineCycles == 0 || r.DynamicCycles == 0 {
+			t.Errorf("result %d has zero cycles: %+v", i, r)
+		}
+	}
+}
+
+func TestSweepUnknownBenchmark(t *testing.T) {
+	if _, err := Sweep(nil, "nope", core.PolicyShared, core.PolicyModelBased, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	bad := QuickConfig()
+	bad.L2KB = 7 // invalid geometry
+	_, err := Sweep([]SweepPoint{{Label: "bad", Cfg: bad}}, "cg",
+		core.PolicyShared, core.PolicyModelBased, 1)
+	if err == nil {
+		t.Error("invalid sweep config accepted")
+	}
+}
+
+func TestForEachIndexCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var mask [37]int32
+		forEachIndex(len(mask), workers, func(i int) {
+			atomic.AddInt32(&mask[i], 1)
+		})
+		for i, v := range mask {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+	// n = 0 is a no-op.
+	forEachIndex(0, 4, func(int) { t.Fatal("called for n=0") })
+}
+
+func itoaTest(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"intracache/internal/core"
+	"intracache/internal/trace"
+	"intracache/internal/workload"
+)
+
+// TestReplayReproducesLiveRun is the strong record/replay property: a
+// simulation driven by recorded traces produces *bit-identical* results
+// to the live-generator simulation it was recorded from, provided the
+// recording covers the whole run and no phase modulation is applied
+// (replayed traces carry their behaviour inside the stream).
+func TestReplayReproducesLiveRun(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 6
+	prof, err := workload.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perThread := uint64(cfg.Sections) * cfg.SectionInstructions
+
+	// Live run (no phase func, to match replay semantics).
+	liveGens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := RunSources(cfg, "cg", trace.Sources(liveGens), core.PolicyModelBased, BySections)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the same generators from scratch, then replay.
+	recGens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]trace.Source, cfg.NumThreads)
+	for i, g := range recGens {
+		var buf bytes.Buffer
+		// Record a little beyond the run length so the replay never wraps.
+		if err := trace.Record(&buf, g, perThread+1000, cfg.LineBytes); err != nil {
+			t.Fatal(err)
+		}
+		rp, err := trace.NewReplayer(&buf, cfg.LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = rp
+	}
+	replayed, err := RunSources(cfg, "cg", sources, core.PolicyModelBased, BySections)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Result.WallCycles != replayed.Result.WallCycles {
+		t.Errorf("wall cycles differ: live %d vs replay %d",
+			live.Result.WallCycles, replayed.Result.WallCycles)
+	}
+	if live.Result.TotalInstr != replayed.Result.TotalInstr {
+		t.Errorf("instructions differ: %d vs %d",
+			live.Result.TotalInstr, replayed.Result.TotalInstr)
+	}
+	lt := live.Result.L2Stats.Totals()
+	rt := replayed.Result.L2Stats.Totals()
+	if lt.Hits != rt.Hits || lt.Misses != rt.Misses {
+		t.Errorf("L2 behaviour differs: live %d/%d vs replay %d/%d",
+			lt.Hits, lt.Misses, rt.Hits, rt.Misses)
+	}
+	for i := range live.Result.FinalTargets {
+		if live.Result.FinalTargets[i] != replayed.Result.FinalTargets[i] {
+			t.Errorf("final targets differ: %v vs %v",
+				live.Result.FinalTargets, replayed.Result.FinalTargets)
+			break
+		}
+	}
+}
+
+func TestRunSourcesWrongCount(t *testing.T) {
+	cfg := QuickConfig()
+	if _, err := RunSources(cfg, "x", nil, core.PolicyShared, BySections); err == nil {
+		t.Error("nil sources accepted")
+	}
+}

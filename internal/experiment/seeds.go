@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"intracache/internal/core"
+	"intracache/internal/stats"
+	"intracache/internal/workload"
+)
+
+// The paper reports single-run numbers from a deterministic simulator.
+// Our workloads are synthetic and seeded, so improvement numbers carry
+// seed-to-seed variation; this file provides multi-seed replication
+// with confidence intervals so EXPERIMENTS.md claims can be made (and
+// checked) statistically rather than from one lucky seed.
+
+// SeededComparison aggregates one benchmark's baseline-vs-candidate
+// improvement over several seeds.
+type SeededComparison struct {
+	Benchmark string
+	// PerSeed holds the improvement percent of each replicate.
+	PerSeed []float64
+	// Mean and CI95 summarise them: Mean ± CI95 is the 95% confidence
+	// interval (normal approximation).
+	Mean float64
+	CI95 float64
+}
+
+// Min returns the worst replicate.
+func (s SeededComparison) Min() float64 {
+	m, err := stats.Min(s.PerSeed)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// Max returns the best replicate.
+func (s SeededComparison) Max() float64 {
+	m, err := stats.Max(s.PerSeed)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// CompareSeeds runs baseline vs candidate on one benchmark across the
+// given seeds (in parallel) and returns the replicate summary.
+func CompareSeeds(cfg Config, prof workload.Profile, baseline, candidate core.Policy,
+	seeds []uint64, workers int) (SeededComparison, error) {
+	if len(seeds) == 0 {
+		return SeededComparison{}, fmt.Errorf("experiment: no seeds")
+	}
+	out := SeededComparison{Benchmark: prof.Name, PerSeed: make([]float64, len(seeds))}
+	errs := make([]error, len(seeds))
+	forEachIndex(len(seeds), workers, func(i int) {
+		c := cfg
+		c.Seed = seeds[i]
+		cmp, err := Compare(c, prof, baseline, candidate)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.PerSeed[i] = cmp.ImprovementPct
+	})
+	for _, err := range errs {
+		if err != nil {
+			return SeededComparison{}, err
+		}
+	}
+	out.Mean = stats.Mean(out.PerSeed)
+	if n := len(out.PerSeed); n > 1 {
+		// Sample standard deviation; 1.96 z for the 95% interval.
+		sd := stats.StdDev(out.PerSeed) * math.Sqrt(float64(n)/float64(n-1))
+		out.CI95 = 1.96 * sd / math.Sqrt(float64(n))
+	}
+	return out, nil
+}
+
+// CompareAllSeeds runs CompareSeeds for every benchmark.
+func CompareAllSeeds(cfg Config, baseline, candidate core.Policy,
+	seeds []uint64, workers int) ([]SeededComparison, error) {
+	profiles := workload.Profiles()
+	out := make([]SeededComparison, len(profiles))
+	for i, prof := range profiles {
+		sc, err := CompareSeeds(cfg, prof, baseline, candidate, seeds, workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", prof.Name, err)
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// DefaultSeeds returns n well-spread deterministic seeds.
+func DefaultSeeds(n int) []uint64 {
+	out := make([]uint64, n)
+	seed := uint64(42)
+	for i := range out {
+		out[i] = seed
+		seed = seed*6364136223846793005 + 1442695040888963407
+	}
+	return out
+}

@@ -1,0 +1,449 @@
+// Package hierarchy implements the two-level cache management system
+// the paper envisions in Section VI-C (its Fig. 16): an OS-level
+// allocator partitions the shared L2 *between* co-scheduled
+// applications, and within each application's share a per-application
+// runtime system (internal/core) partitions *among* that application's
+// threads.
+//
+// The paper describes but does not evaluate this composition; this
+// package builds it so the claim ("our intra-application scheme can be
+// applied to each application simultaneously") is exercised end to end.
+//
+// Mechanically, both levels compose onto the same Section V hardware:
+// the OS level assigns each application a way budget, and each
+// application's engine produces per-thread targets that sum to its
+// budget; the concatenation is installed in the L2, whose replacement
+// policy enforces it. Threads of different applications never share
+// data, so cross-application isolation is exactly the paper's
+// inter-application partitioning scenario.
+package hierarchy
+
+import (
+	"fmt"
+
+	"intracache/internal/core"
+	"intracache/internal/sim"
+)
+
+// OSAllocator decides the per-application way budgets at each interval.
+type OSAllocator interface {
+	// Allocate returns one way budget per application, summing to
+	// totalWays. stats holds each application's interval aggregates.
+	Allocate(stats []AppIntervalStats, totalWays int) []int
+	// Name identifies the allocator in reports.
+	Name() string
+}
+
+// AppIntervalStats aggregates one application's threads over one
+// execution interval, the information an OS-level allocator works from.
+type AppIntervalStats struct {
+	App          int
+	Instructions uint64
+	ActiveCycles uint64
+	L2Misses     uint64
+	L2Accesses   uint64
+	// MaxThreadCPI is the application's critical-path CPI (the metric
+	// the intra-application level minimises).
+	MaxThreadCPI float64
+}
+
+// CPI returns the application's aggregate cycles-per-instruction.
+func (a AppIntervalStats) CPI() float64 {
+	if a.Instructions == 0 {
+		return 0
+	}
+	return float64(a.ActiveCycles) / float64(a.Instructions)
+}
+
+// StaticOSAllocator keeps a fixed budget split.
+type StaticOSAllocator struct {
+	Budgets []int
+}
+
+// Allocate implements OSAllocator.
+func (s *StaticOSAllocator) Allocate(stats []AppIntervalStats, totalWays int) []int {
+	if len(s.Budgets) != len(stats) {
+		return equalBudgets(len(stats), totalWays)
+	}
+	sum := 0
+	for _, b := range s.Budgets {
+		sum += b
+	}
+	if sum != totalWays {
+		return equalBudgets(len(stats), totalWays)
+	}
+	return append([]int(nil), s.Budgets...)
+}
+
+// Name implements OSAllocator.
+func (s *StaticOSAllocator) Name() string { return "os-static" }
+
+// MissRateOSAllocator splits ways proportionally to each application's
+// L2 miss traffic — the classic inter-application heuristic (an
+// application missing more is presumed to need more capacity). A floor
+// of one way per application thread keeps every runtime system able to
+// operate.
+//
+// Raw per-interval miss counts are noisy, and a budget that jumps
+// around forces every application's intra-app partition to be rescaled
+// each interval, which costs more than the reallocation gains. The
+// allocator therefore smooths miss shares with an EWMA and bounds how
+// many ways may move between applications per interval.
+type MissRateOSAllocator struct {
+	// ThreadsPerApp gives the per-application floor (threads × 1 way).
+	ThreadsPerApp []int
+	// MaxStep bounds the total ways moved between applications per
+	// interval (0 = default 2).
+	MaxStep int
+	// Smoothing is the EWMA weight of the newest interval's misses
+	// (0 = default 0.3).
+	Smoothing float64
+
+	smoothed []float64
+	prev     []int
+}
+
+// Name implements OSAllocator.
+func (m *MissRateOSAllocator) Name() string { return "os-missrate" }
+
+// Allocate implements OSAllocator.
+func (m *MissRateOSAllocator) Allocate(stats []AppIntervalStats, totalWays int) []int {
+	desired := m.desired(stats, totalWays)
+	maxStep := m.MaxStep
+	if maxStep <= 0 {
+		maxStep = 2
+	}
+	if m.prev == nil || len(m.prev) != len(desired) || sumInts(m.prev) != totalWays {
+		m.prev = desired
+		return append([]int(nil), desired...)
+	}
+	// Move at most maxStep ways from over-budget toward under-budget
+	// applications.
+	cur := append([]int(nil), m.prev...)
+	for step := 0; step < maxStep; step++ {
+		over, under := -1, -1
+		for i := range cur {
+			if cur[i] > desired[i] && (over == -1 || cur[i]-desired[i] > cur[over]-desired[over]) {
+				over = i
+			}
+			if cur[i] < desired[i] && (under == -1 || desired[i]-cur[i] > desired[under]-cur[under]) {
+				under = i
+			}
+		}
+		if over == -1 || under == -1 {
+			break
+		}
+		cur[over]--
+		cur[under]++
+	}
+	m.prev = cur
+	return append([]int(nil), cur...)
+}
+
+// desired computes the smoothed, floored proportional budget split.
+func (m *MissRateOSAllocator) desired(stats []AppIntervalStats, totalWays int) []int {
+	n := len(stats)
+	alpha := m.Smoothing
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if len(m.smoothed) != n {
+		m.smoothed = make([]float64, n)
+		for i, s := range stats {
+			m.smoothed[i] = float64(s.L2Misses)
+		}
+	} else {
+		for i, s := range stats {
+			m.smoothed[i] = alpha*float64(s.L2Misses) + (1-alpha)*m.smoothed[i]
+		}
+	}
+	floors := make([]int, n)
+	floorSum := 0
+	for i := range floors {
+		floors[i] = 1
+		if i < len(m.ThreadsPerApp) && m.ThreadsPerApp[i] > 0 {
+			floors[i] = m.ThreadsPerApp[i]
+		}
+		floorSum += floors[i]
+	}
+	if floorSum > totalWays {
+		return equalBudgets(n, totalWays)
+	}
+	var totalMisses float64
+	for _, s := range m.smoothed {
+		totalMisses += s
+	}
+	out := make([]int, n)
+	copy(out, floors)
+	spare := totalWays - floorSum
+	if totalMisses == 0 {
+		for i := 0; spare > 0; i = (i + 1) % n {
+			out[i]++
+			spare--
+		}
+		return out
+	}
+	fracs := make([]float64, n)
+	assigned := 0
+	for i := range m.smoothed {
+		share := m.smoothed[i] / totalMisses * float64(spare)
+		out[i] += int(share)
+		fracs[i] = share - float64(int(share))
+		assigned += int(share)
+	}
+	for ; assigned < spare; assigned++ {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		out[best]++
+		fracs[best] = -1
+	}
+	return out
+}
+
+func sumInts(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func equalBudgets(n, ways int) []int {
+	out := make([]int, n)
+	base, rem := ways/n, ways%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// appMonitors adapts the global simulator monitors to one application's
+// thread slice and way budget, so an unmodified core.Engine partitions
+// only its own application's share.
+type appMonitors struct {
+	inner   sim.Monitors
+	base    int // first global thread index of this app
+	threads int
+	budget  int
+}
+
+func (a appMonitors) MissCurve(thread int) []uint64 {
+	curve := a.inner.MissCurve(a.base + thread)
+	if curve == nil {
+		return nil
+	}
+	// Truncate the curve to the application's budget so the engine
+	// cannot reason about ways it does not own.
+	if len(curve) > a.budget+1 {
+		curve = curve[:a.budget+1]
+	}
+	return curve
+}
+
+func (a appMonitors) Ways() int       { return a.budget }
+func (a appMonitors) NumThreads() int { return a.threads }
+
+// Controller is the hierarchical sim.Controller: an OS allocator at the
+// top, one partition engine per application below it. It expects the
+// simulator's threads to be laid out application-major: app 0 owns
+// threads [0, Threads[0]), app 1 the next Threads[1], and so on.
+type Controller struct {
+	os      OSAllocator
+	engines []core.Engine
+	threads []int // threads per application
+	// budgets holds the current OS-level way budgets.
+	budgets []int
+	// targets holds the current global per-thread targets.
+	targets []int
+	// log records one entry per interval for inspection.
+	log []Snapshot
+}
+
+// Snapshot records one interval's hierarchical decision.
+type Snapshot struct {
+	Interval int
+	Budgets  []int // per application
+	Targets  []int // per global thread
+}
+
+// NewController builds a hierarchical controller. threads[i] is
+// application i's thread count; engines[i] partitions within it. The
+// engine slice and thread slice must have equal nonzero length.
+func NewController(os OSAllocator, engines []core.Engine, threads []int) (*Controller, error) {
+	if os == nil {
+		return nil, fmt.Errorf("hierarchy: nil OS allocator")
+	}
+	if len(engines) == 0 || len(engines) != len(threads) {
+		return nil, fmt.Errorf("hierarchy: %d engines for %d applications", len(engines), len(threads))
+	}
+	for i, t := range threads {
+		if t <= 0 {
+			return nil, fmt.Errorf("hierarchy: application %d has %d threads", i, t)
+		}
+		if engines[i] == nil {
+			return nil, fmt.Errorf("hierarchy: application %d has nil engine", i)
+		}
+	}
+	return &Controller{os: os, engines: engines, threads: threads}, nil
+}
+
+// Log returns the per-interval decision snapshots.
+func (c *Controller) Log() []Snapshot { return c.log }
+
+// Budgets returns the current OS-level budgets (nil before the first
+// interval).
+func (c *Controller) Budgets() []int {
+	if c.budgets == nil {
+		return nil
+	}
+	return append([]int(nil), c.budgets...)
+}
+
+// OnInterval implements sim.Controller.
+func (c *Controller) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+	totalThreads := 0
+	for _, t := range c.threads {
+		totalThreads += t
+	}
+	if len(iv.Threads) != totalThreads {
+		panic(fmt.Sprintf("hierarchy: %d simulator threads for %d application threads",
+			len(iv.Threads), totalThreads))
+	}
+	// Level 1: aggregate per application and let the OS split the ways.
+	apps := make([]AppIntervalStats, len(c.threads))
+	base := 0
+	for i, t := range c.threads {
+		a := AppIntervalStats{App: i}
+		for th := base; th < base+t; th++ {
+			ts := iv.Threads[th]
+			a.Instructions += ts.Instructions
+			a.ActiveCycles += ts.ActiveCycles
+			a.L2Misses += ts.L2Misses
+			a.L2Accesses += ts.L2Accesses
+			if cpi := ts.CPI(); cpi > a.MaxThreadCPI {
+				a.MaxThreadCPI = cpi
+			}
+		}
+		apps[i] = a
+		base += t
+	}
+	budgets := c.os.Allocate(apps, mon.Ways())
+	if len(budgets) != len(c.threads) {
+		panic(fmt.Sprintf("hierarchy: OS allocator returned %d budgets for %d applications",
+			len(budgets), len(c.threads)))
+	}
+	sum := 0
+	for i, b := range budgets {
+		if b < c.threads[i] {
+			// Every thread needs at least one way to be partitionable.
+			panic(fmt.Sprintf("hierarchy: budget %d below app %d's %d threads", b, i, c.threads[i]))
+		}
+		sum += b
+	}
+	if sum != mon.Ways() {
+		panic(fmt.Sprintf("hierarchy: budgets sum to %d, want %d", sum, mon.Ways()))
+	}
+	c.budgets = budgets
+
+	// Level 2: each application's engine partitions its own budget.
+	if c.targets == nil {
+		c.targets = make([]int, totalThreads)
+		base = 0
+		for i, t := range c.threads {
+			copy(c.targets[base:base+t], equalBudgets(t, budgets[i]))
+			base += t
+		}
+	}
+	out := make([]int, totalThreads)
+	copy(out, c.targets)
+	base = 0
+	for i, t := range c.threads {
+		appIv := sim.IntervalStats{Index: iv.Index, Threads: iv.Threads[base : base+t]}
+		mon := appMonitors{inner: mon, base: base, threads: t, budget: budgets[i]}
+		current := rescale(out[base:base+t], budgets[i])
+		appTargets := c.engines[i].Decide(appIv, mon, current)
+		if appTargets == nil {
+			appTargets = current
+		}
+		appSum := 0
+		for _, w := range appTargets {
+			appSum += w
+		}
+		if appSum != budgets[i] || len(appTargets) != t {
+			panic(fmt.Sprintf("hierarchy: app %d engine %s produced %v for budget %d",
+				i, c.engines[i].Name(), appTargets, budgets[i]))
+		}
+		copy(out[base:base+t], appTargets)
+		base += t
+	}
+	copy(c.targets, out)
+	c.log = append(c.log, Snapshot{
+		Interval: iv.Index,
+		Budgets:  append([]int(nil), budgets...),
+		Targets:  append([]int(nil), out...),
+	})
+	return out
+}
+
+// rescale adjusts a per-thread assignment to a new budget, preserving
+// proportions and guaranteeing at least one way per thread. The result
+// always sums to budget.
+func rescale(current []int, budget int) []int {
+	n := len(current)
+	out := make([]int, n)
+	oldSum := 0
+	for _, w := range current {
+		oldSum += w
+	}
+	if oldSum == budget {
+		copy(out, current)
+		return out
+	}
+	if oldSum == 0 {
+		return equalBudgets(n, budget)
+	}
+	assigned := 0
+	fracs := make([]float64, n)
+	for i, w := range current {
+		share := float64(w) / float64(oldSum) * float64(budget)
+		out[i] = int(share)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		fracs[i] = share - float64(int(share))
+		assigned += out[i]
+	}
+	// Fix up the sum: trim from the largest or grow by fractional rank.
+	for assigned > budget {
+		big := 0
+		for i := 1; i < n; i++ {
+			if out[i] > out[big] {
+				big = i
+			}
+		}
+		if out[big] <= 1 {
+			break
+		}
+		out[big]--
+		assigned--
+	}
+	for assigned < budget {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		out[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"intracache/internal/core"
+	"intracache/internal/sim"
+)
+
+// fakeMon stubs sim.Monitors for controller tests.
+type fakeMon struct {
+	ways    int
+	threads int
+	curves  [][]uint64
+}
+
+func (f fakeMon) MissCurve(t int) []uint64 {
+	if f.curves == nil {
+		return nil
+	}
+	return f.curves[t]
+}
+func (f fakeMon) Ways() int       { return f.ways }
+func (f fakeMon) NumThreads() int { return f.threads }
+
+func ivWith(cpis []float64, ways []int, misses []uint64) sim.IntervalStats {
+	iv := sim.IntervalStats{Threads: make([]sim.ThreadIntervalStats, len(cpis))}
+	for t := range cpis {
+		iv.Threads[t] = sim.ThreadIntervalStats{
+			Instructions: 1000,
+			ActiveCycles: uint64(cpis[t] * 1000),
+			WaysAssigned: ways[t],
+			L2Misses:     misses[t],
+			L2Accesses:   misses[t] * 2,
+		}
+	}
+	return iv
+}
+
+func TestAppIntervalStatsCPI(t *testing.T) {
+	a := AppIntervalStats{Instructions: 100, ActiveCycles: 450}
+	if a.CPI() != 4.5 {
+		t.Errorf("CPI = %v", a.CPI())
+	}
+	if (AppIntervalStats{}).CPI() != 0 {
+		t.Error("empty CPI nonzero")
+	}
+}
+
+func TestStaticOSAllocator(t *testing.T) {
+	s := &StaticOSAllocator{Budgets: []int{40, 24}}
+	got := s.Allocate(make([]AppIntervalStats, 2), 64)
+	if got[0] != 40 || got[1] != 24 {
+		t.Errorf("budgets = %v", got)
+	}
+	// Mismatched lengths or sums fall back to an equal split.
+	bad := &StaticOSAllocator{Budgets: []int{10}}
+	got = bad.Allocate(make([]AppIntervalStats, 2), 64)
+	if got[0] != 32 || got[1] != 32 {
+		t.Errorf("fallback budgets = %v", got)
+	}
+	badSum := &StaticOSAllocator{Budgets: []int{10, 10}}
+	got = badSum.Allocate(make([]AppIntervalStats, 2), 64)
+	if got[0]+got[1] != 64 {
+		t.Errorf("fallback sum = %v", got)
+	}
+	if s.Name() != "os-static" {
+		t.Error("name wrong")
+	}
+}
+
+func TestMissRateOSAllocator(t *testing.T) {
+	m := &MissRateOSAllocator{ThreadsPerApp: []int{4, 4}}
+	stats := []AppIntervalStats{
+		{App: 0, L2Misses: 3000},
+		{App: 1, L2Misses: 1000},
+	}
+	got := m.Allocate(stats, 64)
+	if got[0]+got[1] != 64 {
+		t.Fatalf("budgets %v don't sum to 64", got)
+	}
+	if got[0] <= got[1] {
+		t.Errorf("missier app did not get more ways: %v", got)
+	}
+	// Floors respected.
+	if got[1] < 4 {
+		t.Errorf("app 1 below its thread floor: %v", got)
+	}
+	if m.Name() != "os-missrate" {
+		t.Error("name wrong")
+	}
+}
+
+func TestMissRateOSAllocatorZeroMisses(t *testing.T) {
+	m := &MissRateOSAllocator{ThreadsPerApp: []int{2, 2}}
+	got := m.Allocate(make([]AppIntervalStats, 2), 16)
+	if got[0]+got[1] != 16 {
+		t.Errorf("budgets %v", got)
+	}
+}
+
+func TestMissRateOSAllocatorInfeasibleFloors(t *testing.T) {
+	m := &MissRateOSAllocator{ThreadsPerApp: []int{10, 10}}
+	got := m.Allocate(make([]AppIntervalStats, 2), 8)
+	if got[0]+got[1] != 8 {
+		t.Errorf("infeasible floors not handled: %v", got)
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	eng := func() []core.Engine { return []core.Engine{core.NewModelEngine(), core.NewModelEngine()} }
+	if _, err := NewController(nil, eng(), []int{2, 2}); err == nil {
+		t.Error("nil OS accepted")
+	}
+	if _, err := NewController(&StaticOSAllocator{}, nil, nil); err == nil {
+		t.Error("no engines accepted")
+	}
+	if _, err := NewController(&StaticOSAllocator{}, eng(), []int{2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewController(&StaticOSAllocator{}, eng(), []int{2, 0}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewController(&StaticOSAllocator{}, []core.Engine{nil, core.NewModelEngine()}, []int{2, 2}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewController(&StaticOSAllocator{Budgets: []int{32, 32}}, eng(), []int{2, 2}); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestControllerComposesLevels(t *testing.T) {
+	// Two 2-thread apps on a 16-way cache; the OS splits 10/6 and each
+	// app's engine is CPI-proportional.
+	ctl, err := NewController(
+		&StaticOSAllocator{Budgets: []int{10, 6}},
+		[]core.Engine{core.NewCPIProportionalEngine(), core.NewCPIProportionalEngine()},
+		[]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ivWith(
+		[]float64{8, 2, 3, 3}, // app 0 thread 0 is critical
+		[]int{4, 4, 4, 4},
+		[]uint64{800, 200, 300, 300})
+	targets := ctl.OnInterval(iv, fakeMon{ways: 16, threads: 4})
+	if len(targets) != 4 {
+		t.Fatalf("targets = %v", targets)
+	}
+	if targets[0]+targets[1] != 10 {
+		t.Errorf("app 0 share %d+%d != 10", targets[0], targets[1])
+	}
+	if targets[2]+targets[3] != 6 {
+		t.Errorf("app 1 share %d+%d != 6", targets[2], targets[3])
+	}
+	if targets[0] <= targets[1] {
+		t.Errorf("app 0 critical thread not favoured: %v", targets)
+	}
+	if got := ctl.Budgets(); got[0] != 10 || got[1] != 6 {
+		t.Errorf("budgets = %v", got)
+	}
+	if len(ctl.Log()) != 1 {
+		t.Errorf("log length %d", len(ctl.Log()))
+	}
+}
+
+func TestControllerBudgetsFollowMisses(t *testing.T) {
+	ctl, err := NewController(
+		&MissRateOSAllocator{ThreadsPerApp: []int{2, 2}},
+		[]core.Engine{core.EqualEngine{}, core.EqualEngine{}},
+		[]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App 1 misses 4x more than app 0.
+	iv := ivWith(
+		[]float64{2, 2, 6, 6},
+		[]int{4, 4, 4, 4},
+		[]uint64{100, 100, 400, 400})
+	targets := ctl.OnInterval(iv, fakeMon{ways: 16, threads: 4})
+	app0 := targets[0] + targets[1]
+	app1 := targets[2] + targets[3]
+	if app0+app1 != 16 {
+		t.Fatalf("targets %v don't cover the cache", targets)
+	}
+	if app1 <= app0 {
+		t.Errorf("missier app did not receive a bigger budget: %v", targets)
+	}
+}
+
+func TestControllerEqualEngineKeepsRescaledSplit(t *testing.T) {
+	// EqualEngine returns nil (keep current); the controller must still
+	// produce per-app sums matching the budgets after a budget change.
+	ctl, err := NewController(
+		&MissRateOSAllocator{ThreadsPerApp: []int{2, 2}},
+		[]core.Engine{core.EqualEngine{}, core.EqualEngine{}},
+		[]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := fakeMon{ways: 16, threads: 4}
+	iv1 := ivWith([]float64{2, 2, 6, 6}, []int{4, 4, 4, 4}, []uint64{100, 100, 400, 400})
+	t1 := ctl.OnInterval(iv1, mon)
+	// Flip the miss balance; budgets should move and targets re-sum.
+	iv2 := ivWith([]float64{6, 6, 2, 2}, t1, []uint64{400, 400, 100, 100})
+	t2 := ctl.OnInterval(iv2, mon)
+	budgets := ctl.Budgets()
+	if t2[0]+t2[1] != budgets[0] || t2[2]+t2[3] != budgets[1] {
+		t.Errorf("targets %v don't match budgets %v", t2, budgets)
+	}
+	for i, w := range t2 {
+		if w < 1 {
+			t.Errorf("thread %d starved: %v", i, t2)
+		}
+	}
+}
+
+func TestControllerPanicsOnThreadMismatch(t *testing.T) {
+	ctl, err := NewController(&StaticOSAllocator{Budgets: []int{8, 8}},
+		[]core.Engine{core.EqualEngine{}, core.EqualEngine{}}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("thread mismatch did not panic")
+		}
+	}()
+	ctl.OnInterval(ivWith([]float64{1, 1}, []int{8, 8}, []uint64{0, 0}), fakeMon{ways: 16, threads: 2})
+}
+
+func TestRescale(t *testing.T) {
+	cases := []struct {
+		current []int
+		budget  int
+	}{
+		{[]int{4, 4}, 8},  // unchanged
+		{[]int{4, 4}, 12}, // grow
+		{[]int{8, 8}, 6},  // shrink
+		{[]int{0, 0}, 10}, // from zero
+		{[]int{1, 9}, 4},  // shrink with floor
+		{[]int{3, 1, 1}, 9},
+	}
+	for _, c := range cases {
+		got := rescale(c.current, c.budget)
+		sum := 0
+		for i, w := range got {
+			sum += w
+			if w < 1 {
+				t.Errorf("rescale(%v,%d)[%d] = %d below floor", c.current, c.budget, i, w)
+			}
+		}
+		if sum != c.budget {
+			t.Errorf("rescale(%v,%d) = %v sums to %d", c.current, c.budget, got, sum)
+		}
+	}
+}
+
+func TestAppMonitorsTruncation(t *testing.T) {
+	curve := make([]uint64, 17)
+	for i := range curve {
+		curve[i] = uint64(100 - i)
+	}
+	inner := fakeMon{ways: 16, threads: 4, curves: [][]uint64{curve, curve, curve, curve}}
+	am := appMonitors{inner: inner, base: 2, threads: 2, budget: 6}
+	if am.Ways() != 6 || am.NumThreads() != 2 {
+		t.Errorf("adapter geometry wrong: %d ways %d threads", am.Ways(), am.NumThreads())
+	}
+	got := am.MissCurve(0)
+	if len(got) != 7 {
+		t.Errorf("curve not truncated to budget+1: len %d", len(got))
+	}
+	noCurve := appMonitors{inner: fakeMon{ways: 16, threads: 4}, base: 0, threads: 2, budget: 6}
+	if noCurve.MissCurve(0) != nil {
+		t.Error("nil curve not propagated")
+	}
+}

@@ -1,0 +1,305 @@
+package spline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"intracache/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(NaturalCubic, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit(NaturalCubic, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Fit(Kind(99), []float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		NaturalCubic: "natural-cubic",
+		PCHIP:        "pchip",
+		Linear:       "linear",
+		Kind(42):     "Kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConstantSinglePoint(t *testing.T) {
+	for _, kind := range []Kind{NaturalCubic, PCHIP, Linear} {
+		in, err := Fit(kind, []float64{4}, []float64{7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []float64{-10, 0, 4, 100} {
+			if got := in.Eval(x); got != 7 {
+				t.Errorf("%v single point Eval(%v) = %v, want 7", kind, x, got)
+			}
+		}
+	}
+}
+
+func TestTwoPointsLinear(t *testing.T) {
+	for _, kind := range []Kind{NaturalCubic, PCHIP, Linear} {
+		in, err := Fit(kind, []float64{0, 10}, []float64{0, 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Eval(5); !almostEq(got, 50, 1e-9) {
+			t.Errorf("%v two points Eval(5) = %v, want 50", kind, got)
+		}
+	}
+}
+
+func TestInterpolatesKnots(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := []float64{9, 7.5, 6, 4.2, 3.9, 3.85}
+	for _, kind := range []Kind{NaturalCubic, PCHIP, Linear} {
+		in, err := Fit(kind, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if got := in.Eval(xs[i]); !almostEq(got, ys[i], 1e-9) {
+				t.Errorf("%v Eval(knot %v) = %v, want %v", kind, xs[i], got, ys[i])
+			}
+		}
+	}
+}
+
+func TestClampedExtrapolation(t *testing.T) {
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{10, 6, 4, 3}
+	for _, kind := range []Kind{NaturalCubic, PCHIP, Linear} {
+		in, err := Fit(kind, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Eval(0); got != 10 {
+			t.Errorf("%v Eval below range = %v, want 10", kind, got)
+		}
+		if got := in.Eval(64); got != 3 {
+			t.Errorf("%v Eval above range = %v, want 3", kind, got)
+		}
+	}
+}
+
+func TestUnsortedInput(t *testing.T) {
+	in, err := Fit(Linear, []float64{8, 2, 4}, []float64{1, 7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(3); !almostEq(got, 5, 1e-9) {
+		t.Errorf("Eval(3) = %v, want 5 (midpoint of (2,7)-(4,3))", got)
+	}
+	knots := in.Knots()
+	for i := 1; i < len(knots); i++ {
+		if knots[i] <= knots[i-1] {
+			t.Errorf("knots not ascending: %v", knots)
+		}
+	}
+}
+
+func TestDuplicateXAveraged(t *testing.T) {
+	in, err := Fit(Linear, []float64{2, 2, 6}, []float64{4, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(2); !almostEq(got, 6, 1e-9) {
+		t.Errorf("duplicate x averaged Eval(2) = %v, want 6", got)
+	}
+	if got := len(in.Knots()); got != 2 {
+		t.Errorf("knot count = %d, want 2", got)
+	}
+}
+
+func TestNaturalCubicRecoversLine(t *testing.T) {
+	// A natural cubic through collinear points is exactly that line.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 1
+	}
+	in, err := Fit(NaturalCubic, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 5; x += 0.1 {
+		if got := in.Eval(x); !almostEq(got, 3*x+1, 1e-9) {
+			t.Fatalf("Eval(%v) = %v, want %v", x, got, 3*x+1)
+		}
+	}
+}
+
+func TestNaturalCubicSmoothCurve(t *testing.T) {
+	// Fit sin over a dense grid; interpolation error should be small.
+	var xs, ys []float64
+	for i := 0; i <= 16; i++ {
+		x := float64(i) * math.Pi / 16
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(x))
+	}
+	in, err := Fit(NaturalCubic, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.05; x < math.Pi; x += 0.05 {
+		if got := in.Eval(x); !almostEq(got, math.Sin(x), 1e-3) {
+			t.Fatalf("Eval(%v) = %v, want ~%v", x, got, math.Sin(x))
+		}
+	}
+}
+
+func TestPCHIPMonotonePreservation(t *testing.T) {
+	// Monotone decreasing data (a typical CPI-vs-ways curve) must yield
+	// a monotone decreasing interpolant — no overshoot between knots.
+	xs := []float64{1, 2, 4, 8, 16, 32, 64}
+	ys := []float64{12, 9, 6.5, 5, 4.4, 4.1, 4.05}
+	in, err := Fit(PCHIP, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := in.Eval(1)
+	for x := 1.0; x <= 64; x += 0.25 {
+		cur := in.Eval(x)
+		if cur > prev+1e-9 {
+			t.Fatalf("PCHIP not monotone at x=%v: %v > %v", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPCHIPNoOvershootOnStep(t *testing.T) {
+	// Step-like data: values must stay inside [min(y), max(y)].
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 0, 10, 10, 10}
+	in, err := Fit(PCHIP, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 4; x += 0.05 {
+		v := in.Eval(x)
+		if v < -1e-9 || v > 10+1e-9 {
+			t.Fatalf("PCHIP overshoot at x=%v: %v", x, v)
+		}
+	}
+}
+
+func TestLinearExactBetweenKnots(t *testing.T) {
+	in, err := Fit(Linear, []float64{0, 2, 6}, []float64{0, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(1); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Eval(1) = %v, want 2", got)
+	}
+	if got := in.Eval(4); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Eval(4) = %v, want 2", got)
+	}
+}
+
+// Property: all interpolants pass through every (deduped) knot and stay
+// clamped outside the x-range, for random monotone-x data.
+func TestQuickKnotInterpolation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += 0.5 + r.Float64()*4
+			xs[i] = x
+			ys[i] = r.Float64()*20 - 10
+		}
+		for _, kind := range []Kind{NaturalCubic, PCHIP, Linear} {
+			in, err := Fit(kind, xs, ys)
+			if err != nil {
+				return false
+			}
+			for i := range xs {
+				if !almostEq(in.Eval(xs[i]), ys[i], 1e-6) {
+					return false
+				}
+			}
+			if !almostEq(in.Eval(xs[0]-100), ys[0], 1e-12) {
+				return false
+			}
+			if !almostEq(in.Eval(xs[n-1]+100), ys[n-1], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PCHIP output is bounded by the data range for any input.
+func TestQuickPCHIPBounded(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 3
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x += 0.5 + r.Float64()*2
+			xs[i] = x
+			ys[i] = r.Float64() * 100
+			lo = math.Min(lo, ys[i])
+			hi = math.Max(hi, ys[i])
+		}
+		in, err := Fit(PCHIP, xs, ys)
+		if err != nil {
+			return false
+		}
+		for xq := xs[0]; xq <= xs[n-1]; xq += (xs[n-1] - xs[0]) / 200 {
+			v := in.Eval(xq)
+			if v < lo-1e-6 || v > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFitNaturalCubic(b *testing.B) {
+	xs := []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	ys := []float64{12, 9, 6.5, 5, 4.7, 4.4, 4.2, 4.1, 4.07, 4.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(NaturalCubic, xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalNaturalCubic(b *testing.B) {
+	xs := []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	ys := []float64{12, 9, 6.5, 5, 4.7, 4.4, 4.2, 4.1, 4.07, 4.05}
+	in, err := Fit(NaturalCubic, xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = in.Eval(float64(i%64) + 0.5)
+	}
+}

@@ -1,0 +1,278 @@
+// Package svg renders the evaluation's charts as standalone SVG
+// documents (stdlib only — the documents are built as escaped XML
+// text). cmd/figures uses it behind the -svg flag to write visual
+// versions of the paper's figures next to the text renderings.
+//
+// The renderers mirror internal/report's data shapes: horizontal bar
+// charts for the per-benchmark comparisons (Figs. 5, 8, 19-22), grouped
+// bars for per-thread breakdowns (Figs. 3/4), and line charts for
+// per-interval series and model curves (Figs. 6/7/15).
+package svg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette is a small colour cycle for series; chosen for contrast on a
+// white background.
+var palette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+	"#956cb4", "#8c613c", "#dc7ec0", "#797979",
+}
+
+// Color returns the i-th palette colour (cycling).
+func Color(i int) string { return palette[i%len(palette)] }
+
+// esc escapes text for XML content and attribute values, and replaces
+// characters that XML 1.0 forbids outright (control characters,
+// surrogates, invalid UTF-8) with U+FFFD — escaping alone cannot make
+// those legal.
+func esc(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '&':
+			b.WriteString("&amp;")
+		case r == '<':
+			b.WriteString("&lt;")
+		case r == '>':
+			b.WriteString("&gt;")
+		case r == '"':
+			b.WriteString("&quot;")
+		case r == '\'':
+			b.WriteString("&apos;")
+		case r == '\t' || r == '\n' || r == '\r':
+			b.WriteRune(r)
+		case r < 0x20 || (r >= 0xD800 && r <= 0xDFFF) || r == 0xFFFE || r == 0xFFFF:
+			b.WriteRune('�')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// doc accumulates SVG elements.
+type doc struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newDoc(w, h int) *doc {
+	d := &doc{w: w, h: h}
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	d.b.WriteString("\n")
+	fmt.Fprintf(&d.b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	d.b.WriteString("\n")
+	return d
+}
+
+func (d *doc) rect(x, y, w, h float64, fill string) {
+	if w < 0 {
+		x, w = x+w, -w
+	}
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+		x, y, w, h, fill)
+	d.b.WriteString("\n")
+}
+
+func (d *doc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, stroke, width)
+	d.b.WriteString("\n")
+}
+
+// anchor: "start", "middle" or "end".
+func (d *doc) text(x, y float64, size int, anchor, fill, s string) {
+	fmt.Fprintf(&d.b,
+		`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="%d" text-anchor="%s" fill="%s">%s</text>`,
+		x, y, size, anchor, fill, esc(s))
+	d.b.WriteString("\n")
+}
+
+func (d *doc) polyline(points []float64, stroke string, width float64) {
+	var pts strings.Builder
+	for i := 0; i+1 < len(points); i += 2 {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", points[i], points[i+1])
+	}
+	fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`,
+		pts.String(), stroke, width)
+	d.b.WriteString("\n")
+}
+
+func (d *doc) String() string {
+	return d.b.String() + "</svg>\n"
+}
+
+// layout constants shared by the renderers.
+const (
+	titleSize  = 14
+	labelSize  = 11
+	marginTop  = 34
+	marginLeft = 120
+	marginEnd  = 70
+)
+
+// HBars renders a horizontal bar chart: one labelled bar per value.
+// Negative values render left of a zero axis.
+func HBars(title string, labels []string, values []float64, width int) string {
+	rowH := 22.0
+	height := marginTop + int(rowH)*len(values) + 16
+	d := newDoc(width, height)
+	d.text(8, 20, titleSize, "start", "black", title)
+
+	var maxAbs float64
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	plotW := float64(width - marginLeft - marginEnd)
+	hasNeg := false
+	for _, v := range values {
+		if v < 0 {
+			hasNeg = true
+		}
+	}
+	zeroX := float64(marginLeft)
+	scale := plotW / maxAbs
+	if hasNeg {
+		zeroX = float64(marginLeft) + plotW/2
+		scale = plotW / (2 * maxAbs)
+	}
+	// Zero axis.
+	d.line(zeroX, marginTop, zeroX, float64(height-10), "#cccccc", 1)
+	for i, v := range values {
+		y := float64(marginTop) + rowH*float64(i)
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		d.text(float64(marginLeft)-8, y+rowH*0.7, labelSize, "end", "black", label)
+		d.rect(zeroX, y+3, v*scale, rowH-8, Color(0))
+		valX := zeroX + v*scale + 6
+		anchor := "start"
+		if v < 0 {
+			valX = zeroX + v*scale - 6
+			anchor = "end"
+		}
+		d.text(valX, y+rowH*0.7, labelSize, anchor, "#444444", fmt.Sprintf("%.2f", v))
+	}
+	return d.String()
+}
+
+// GroupedHBars renders one group of bars per label, one bar per series
+// (the Fig. 3/4 shape).
+func GroupedHBars(title string, labels, seriesNames []string, values [][]float64, width int) string {
+	barH, gapH := 13.0, 8.0
+	rows := 0
+	for _, g := range values {
+		rows += len(g)
+	}
+	height := marginTop + int(barH)*rows + int(gapH+14)*len(labels) + 16
+	d := newDoc(width, height)
+	d.text(8, 20, titleSize, "start", "black", title)
+
+	var maxAbs float64
+	for _, g := range values {
+		for _, v := range g {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	plotW := float64(width - marginLeft - marginEnd)
+	y := float64(marginTop)
+	for gi, label := range labels {
+		d.text(8, y+11, labelSize+1, "start", "black", label)
+		y += 16
+		if gi >= len(values) {
+			continue
+		}
+		for si, v := range values[gi] {
+			name := ""
+			if si < len(seriesNames) {
+				name = seriesNames[si]
+			}
+			d.text(float64(marginLeft)-8, y+barH*0.8, labelSize-1, "end", "#555555", name)
+			d.rect(float64(marginLeft), y+1, v/maxAbs*plotW, barH-3, Color(si))
+			d.text(float64(marginLeft)+v/maxAbs*plotW+6, y+barH*0.8, labelSize-1, "start", "#444444",
+				fmt.Sprintf("%.3f", v))
+			y += barH
+		}
+		y += gapH
+	}
+	return d.String()
+}
+
+// Lines renders one polyline per series over a shared x axis of
+// evenly-spaced points (the per-interval figures).
+func Lines(title string, seriesNames []string, series [][]float64, width, height int) string {
+	d := newDoc(width, height)
+	d.text(8, 20, titleSize, "start", "black", title)
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return d.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	left, right, top, bottom := 60.0, 20.0, float64(marginTop), 28.0
+	plotW := float64(width) - left - right
+	plotH := float64(height) - top - bottom
+
+	// Axes and range labels.
+	d.line(left, top, left, top+plotH, "#888888", 1)
+	d.line(left, top+plotH, left+plotW, top+plotH, "#888888", 1)
+	d.text(left-6, top+8, labelSize-1, "end", "#555555", fmt.Sprintf("%.3g", hi))
+	d.text(left-6, top+plotH, labelSize-1, "end", "#555555", fmt.Sprintf("%.3g", lo))
+	d.text(left+plotW, top+plotH+16, labelSize-1, "end", "#555555", fmt.Sprintf("interval %d", maxLen-1))
+
+	for si, s := range series {
+		if len(s) == 0 {
+			continue
+		}
+		pts := make([]float64, 0, len(s)*2)
+		for i, v := range s {
+			x := left
+			if maxLen > 1 {
+				x = left + plotW*float64(i)/float64(maxLen-1)
+			}
+			yy := top + plotH*(1-(v-lo)/(hi-lo))
+			pts = append(pts, x, yy)
+		}
+		d.polyline(pts, Color(si), 1.6)
+		name := ""
+		if si < len(seriesNames) {
+			name = seriesNames[si]
+		}
+		// Legend: stacked top-right.
+		ly := top + 14*float64(si)
+		d.line(left+plotW-70, ly, left+plotW-52, ly, Color(si), 3)
+		d.text(left+plotW-46, ly+4, labelSize-1, "start", "#333333", name)
+	}
+	return d.String()
+}

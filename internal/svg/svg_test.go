@@ -1,0 +1,115 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the document with encoding/xml, so unescaped
+// characters or unbalanced tags fail the test.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestHBarsWellFormed(t *testing.T) {
+	doc := HBars("improvements <&\"'>", []string{"swim", "c<g>"}, []float64{5, 10}, 640)
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "&lt;&amp;&quot;&apos;&gt;") {
+		t.Error("special characters not escaped in title")
+	}
+	if !strings.HasPrefix(doc, "<svg") || !strings.HasSuffix(doc, "</svg>\n") {
+		t.Error("document not wrapped in <svg>")
+	}
+	if strings.Count(doc, "<rect") < 3 { // background + 2 bars
+		t.Error("bars missing")
+	}
+}
+
+func TestHBarsNegativeValues(t *testing.T) {
+	doc := HBars("t", []string{"a", "b"}, []float64{-5, 10}, 640)
+	wellFormed(t, doc)
+	// No negative-width rects may survive (SVG forbids them).
+	if strings.Contains(doc, `width="-`) {
+		t.Error("negative rect width emitted")
+	}
+	if !strings.Contains(doc, "-5.00") {
+		t.Error("negative value label missing")
+	}
+}
+
+func TestHBarsAllZero(t *testing.T) {
+	wellFormed(t, HBars("t", []string{"a"}, []float64{0}, 400))
+}
+
+func TestGroupedHBarsWellFormed(t *testing.T) {
+	doc := GroupedHBars("fig3", []string{"swim", "cg"}, []string{"t1", "t2"},
+		[][]float64{{1, 0.5}, {0.8, 0.2}}, 640)
+	wellFormed(t, doc)
+	for _, want := range []string{"swim", "cg", "t1", "t2", "0.500"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestGroupedHBarsRagged(t *testing.T) {
+	// More labels than groups, more bars than series names.
+	doc := GroupedHBars("t", []string{"a", "b"}, []string{"s"}, [][]float64{{1, 2}}, 640)
+	wellFormed(t, doc)
+}
+
+func TestLinesWellFormed(t *testing.T) {
+	doc := Lines("fig6", []string{"thread 1", "thread 2"},
+		[][]float64{{1, 2, 3, 2}, {3, 2, 1, 2}}, 800, 300)
+	wellFormed(t, doc)
+	if strings.Count(doc, "<polyline") != 2 {
+		t.Errorf("polyline count wrong:\n%s", doc)
+	}
+	if !strings.Contains(doc, "thread 1") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	wellFormed(t, Lines("empty", nil, nil, 400, 200))
+	wellFormed(t, Lines("flat", []string{"s"}, [][]float64{{5, 5, 5}}, 400, 200))
+	wellFormed(t, Lines("single", []string{"s"}, [][]float64{{7}}, 400, 200))
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) == "" || Color(0) != Color(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}
+
+// Property: any label/value combination renders a well-formed document.
+func TestQuickHBarsAlwaysWellFormed(t *testing.T) {
+	f := func(labels []string, raw []int16) bool {
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v) / 7
+		}
+		doc := HBars("t<>&", labels, values, 640)
+		dec := xml.NewDecoder(strings.NewReader(doc))
+		for {
+			if _, err := dec.Token(); err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Source produces an instruction stream for one simulated thread.
+// ThreadGen (synthetic) and Replayer (recorded) both implement it.
+// SetPhase hints an execution-phase change; sources whose behaviour is
+// fixed (a recorded trace) ignore it.
+type Source interface {
+	Next() Instr
+	SetPhase(wsScale, streamScale float64)
+}
+
+var (
+	_ Source = (*ThreadGen)(nil)
+	_ Source = (*Replayer)(nil)
+)
+
+// Trace file format (version 1):
+//
+//	magic "ITRC" , version byte 1
+//	then one record per memory access:
+//	  uvarint  gap     — non-memory instructions preceding this access
+//	  byte     flags   — bit0: write
+//	  uvarint  delta   — zigzag-encoded line-address delta from the
+//	                     previous access (line granularity)
+//	a trailing uvarint gap with flags byte 0xFF ends the stream and
+//	carries any final non-memory instructions.
+//
+// Line-delta encoding keeps sequential and strided patterns to 2-3
+// bytes per access.
+const (
+	traceMagic   = "ITRC"
+	traceVersion = 1
+	endFlags     = 0xFF
+)
+
+// Record captures exactly n instructions from src into w. The source
+// is consumed (its state advances).
+func Record(w io.Writer, src Source, n uint64, lineBytes int) error {
+	if lineBytes <= 0 {
+		return fmt.Errorf("trace: Record needs a positive line size")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	var gap uint64
+	var prevLine int64
+	for i := uint64(0); i < n; i++ {
+		in := src.Next()
+		if !in.IsMem {
+			gap++
+			continue
+		}
+		if err := writeUvarint(gap); err != nil {
+			return err
+		}
+		gap = 0
+		var flags byte
+		if in.Write {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		line := int64(in.Addr / uint64(lineBytes))
+		delta := line - prevLine
+		prevLine = line
+		if err := writeUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+	}
+	// Trailer: remaining non-memory instructions.
+	if err := writeUvarint(gap); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(endFlags); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// replayRecord is one decoded access.
+type replayRecord struct {
+	gap   uint64
+	addr  uint64
+	write bool
+}
+
+// Replayer replays a recorded trace as a Source. When the recording is
+// exhausted it loops back to the start, so a finite capture can drive a
+// run of any length (the wrap is equivalent to the program's outer
+// iteration loop re-executing).
+type Replayer struct {
+	records  []replayRecord
+	tailGap  uint64
+	pos      int
+	inGap    uint64
+	inTail   bool
+	replayed uint64
+}
+
+// NewReplayer decodes an entire trace into memory. lineBytes must match
+// the value used at record time.
+func NewReplayer(r io.Reader, lineBytes int) (*Replayer, error) {
+	if lineBytes <= 0 {
+		return nil, fmt.Errorf("trace: NewReplayer needs a positive line size")
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	rp := &Replayer{}
+	var line int64
+	for {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		if flags == endFlags {
+			rp.tailGap = gap
+			break
+		}
+		du, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		line += unzigzag(du)
+		if line < 0 {
+			return nil, fmt.Errorf("trace: negative line address")
+		}
+		rp.records = append(rp.records, replayRecord{
+			gap:   gap,
+			addr:  uint64(line) * uint64(lineBytes),
+			write: flags&1 != 0,
+		})
+	}
+	if len(rp.records) == 0 && rp.tailGap == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return rp, nil
+}
+
+// Len returns the number of recorded memory accesses.
+func (rp *Replayer) Len() int { return len(rp.records) }
+
+// Replayed returns how many instructions have been emitted so far.
+func (rp *Replayer) Replayed() uint64 { return rp.replayed }
+
+// Next implements Source.
+func (rp *Replayer) Next() Instr {
+	rp.replayed++
+	for {
+		if rp.inTail {
+			if rp.inGap > 0 {
+				rp.inGap--
+				return Instr{}
+			}
+			// Wrap around.
+			rp.inTail = false
+			rp.pos = 0
+		}
+		if rp.pos >= len(rp.records) {
+			rp.inTail = true
+			rp.inGap = rp.tailGap
+			continue
+		}
+		rec := rp.records[rp.pos]
+		if rp.inGap < rec.gap {
+			rp.inGap++
+			return Instr{}
+		}
+		rp.inGap = 0
+		rp.pos++
+		return Instr{IsMem: true, Write: rec.write, Addr: rec.addr}
+	}
+}
+
+// SetPhase implements Source; a recorded trace cannot change phase.
+func (rp *Replayer) SetPhase(float64, float64) {}

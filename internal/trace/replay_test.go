@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"intracache/internal/xrand"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	spec := baseSpec()
+	src := mustThread(t, spec, 71)
+	ref := mustThread(t, spec, 71) // identical stream for comparison
+
+	var buf bytes.Buffer
+	const n = 20_000
+	if err := Record(&buf, src, n, spec.LineBytes); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf, spec.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := ref.Next()
+		got := rp.Next()
+		// Addresses are recorded at line granularity.
+		want.Addr &^= uint64(spec.LineBytes - 1)
+		if got != want {
+			t.Fatalf("instruction %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if rp.Replayed() != n {
+		t.Errorf("Replayed() = %d, want %d", rp.Replayed(), n)
+	}
+}
+
+func TestReplayerWrapsAround(t *testing.T) {
+	spec := baseSpec()
+	src := mustThread(t, spec, 73)
+	var buf bytes.Buffer
+	const n = 5_000
+	if err := Record(&buf, src, n, spec.LineBytes); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf, spec.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume two full passes; the second must repeat the first.
+	first := make([]Instr, n)
+	for i := range first {
+		first[i] = rp.Next()
+	}
+	for i := 0; i < n; i++ {
+		if got := rp.Next(); got != first[i] {
+			t.Fatalf("wrap mismatch at %d: %+v vs %+v", i, got, first[i])
+		}
+	}
+}
+
+func TestReplayerCompactEncoding(t *testing.T) {
+	// Sequential access patterns must encode to a handful of bytes per
+	// access (delta = +1 line).
+	spec := baseSpec()
+	spec.StreamWeight = 1
+	spec.SharedWeight = 0
+	spec.MemRatio = 1
+	src := mustThread(t, spec, 79)
+	var buf bytes.Buffer
+	const n = 10_000
+	if err := Record(&buf, src, n, spec.LineBytes); err != nil {
+		t.Fatal(err)
+	}
+	if perAccess := float64(buf.Len()) / n; perAccess > 4 {
+		t.Errorf("sequential trace uses %.1f bytes/access, want <= 4", perAccess)
+	}
+}
+
+func TestReplayerErrors(t *testing.T) {
+	if _, err := NewReplayer(bytes.NewReader(nil), 64); err == nil {
+		t.Error("empty reader accepted")
+	}
+	if _, err := NewReplayer(bytes.NewReader([]byte("XXXX\x01")), 64); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReplayer(bytes.NewReader([]byte("ITRC\x09")), 64); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReplayer(bytes.NewReader([]byte("ITRC\x01\x05")), 64); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := NewReplayer(bytes.NewReader([]byte("ITRC\x01")), 0); err == nil {
+		t.Error("zero line size accepted")
+	}
+	var buf bytes.Buffer
+	src := mustThread(t, baseSpec(), 83)
+	if err := Record(&buf, src, 100, 0); err == nil {
+		t.Error("Record with zero line size accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestReplayerSetPhaseNoOp(t *testing.T) {
+	spec := baseSpec()
+	src := mustThread(t, spec, 89)
+	var buf bytes.Buffer
+	if err := Record(&buf, src, 1000, spec.LineBytes); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf, spec.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rp.Next()
+	rp.SetPhase(5, 5) // must not disturb the stream
+	_ = a
+	if rp.Len() == 0 {
+		t.Error("no records decoded")
+	}
+}
+
+func TestRecordFromCustomSource(t *testing.T) {
+	// Any Source works, not just ThreadGen: a tiny deterministic
+	// hand-rolled source.
+	src := &countingSource{}
+	var buf bytes.Buffer
+	if err := Record(&buf, src, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := &countingSource{}
+	for i := 0; i < 64; i++ {
+		want := check.Next()
+		got := rp.Next()
+		if got != want {
+			t.Fatalf("instr %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// countingSource emits a memory access to line i on every 3rd
+// instruction.
+type countingSource struct{ n int }
+
+func (c *countingSource) Next() Instr {
+	c.n++
+	if c.n%3 != 0 {
+		return Instr{}
+	}
+	return Instr{IsMem: true, Write: c.n%6 == 0, Addr: uint64(c.n) * 64}
+}
+func (c *countingSource) SetPhase(float64, float64) {}
+
+func BenchmarkReplayerNext(b *testing.B) {
+	spec := baseSpec()
+	src, err := NewThread(spec, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, src, 100_000, spec.LineBytes); err != nil {
+		b.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf, spec.LineBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rp.Next()
+	}
+}

@@ -1,0 +1,283 @@
+// Package trace generates synthetic per-thread memory access streams.
+//
+// The paper's evaluation never depends on program semantics — only on
+// each thread's cache behaviour: the size of its working set, how
+// skewed its reuse is, how much of its traffic streams through memory
+// with no reuse, how much lands in data shared with sibling threads,
+// and how all of that drifts across execution phases. A thread is
+// therefore modelled as a stochastic mixture of three address sources:
+//
+//   - a private working set, sampled with a Zipf distribution over its
+//     cache lines (hot head → some L1 hits; long tail → L2 pressure
+//     proportional to the working-set size vs. allocated cache space);
+//   - a streaming region, scanned sequentially with effectively no
+//     reuse (classic cache polluter);
+//   - a shared region, sampled with Zipf, common to all threads of the
+//     application (source of constructive inter-thread interactions).
+//
+// Phase behaviour (paper Sec. IV-A1, Figs. 6/7) enters through
+// SetPhase, which rescales the working set and stream intensity per
+// execution interval.
+package trace
+
+import (
+	"fmt"
+
+	"intracache/internal/xrand"
+)
+
+// ThreadSpec parameterises one thread's access stream.
+type ThreadSpec struct {
+	// MemRatio is the probability that an instruction is a memory access.
+	MemRatio float64
+	// WriteRatio is the probability that a memory access is a write.
+	WriteRatio float64
+
+	// PrivateBase/PrivateBytes delimit the thread's private region.
+	PrivateBase  uint64
+	PrivateBytes uint64
+	// ZipfAlpha skews reuse within the private working set (0 = uniform).
+	ZipfAlpha float64
+
+	// StreamBase/StreamBytes delimit the streaming region; StreamWeight
+	// is the fraction of memory accesses that stream through it.
+	StreamBase   uint64
+	StreamBytes  uint64
+	StreamWeight float64
+
+	// StrideBytes/StrideWeight add a strided sweep over the private
+	// region (dense numerical kernels: fixed-stride column walks).
+	// Reuse recurs on each wrap of the region, so the pattern is
+	// cache-friendly when the swept footprint fits the allocation.
+	StrideBytes  int
+	StrideWeight float64
+
+	// SharedBase/SharedBytes delimit the region shared with sibling
+	// threads; SharedWeight is the fraction of memory accesses that
+	// target it. SharedZipfAlpha skews them toward a common hot head.
+	SharedBase      uint64
+	SharedBytes     uint64
+	SharedWeight    float64
+	SharedZipfAlpha float64
+
+	// LineBytes is the cache line size used to quantise the regions.
+	LineBytes int
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s ThreadSpec) Validate() error {
+	switch {
+	case s.MemRatio < 0 || s.MemRatio > 1:
+		return fmt.Errorf("trace: MemRatio %v out of [0,1]", s.MemRatio)
+	case s.WriteRatio < 0 || s.WriteRatio > 1:
+		return fmt.Errorf("trace: WriteRatio %v out of [0,1]", s.WriteRatio)
+	case s.StreamWeight < 0 || s.SharedWeight < 0 || s.StrideWeight < 0:
+		return fmt.Errorf("trace: negative mixture weight")
+	case s.StreamWeight+s.SharedWeight+s.StrideWeight > 1:
+		return fmt.Errorf("trace: mixture weights sum to %v, exceeding 1",
+			s.StreamWeight+s.SharedWeight+s.StrideWeight)
+	case s.StrideWeight > 0 && s.StrideBytes <= 0:
+		return fmt.Errorf("trace: StrideWeight without a positive StrideBytes")
+	case s.LineBytes <= 0:
+		return fmt.Errorf("trace: LineBytes %d must be positive", s.LineBytes)
+	case s.PrivateBytes < uint64(s.LineBytes):
+		return fmt.Errorf("trace: PrivateBytes %d smaller than one line", s.PrivateBytes)
+	case s.StreamWeight > 0 && s.StreamBytes < uint64(s.LineBytes):
+		return fmt.Errorf("trace: StreamBytes %d smaller than one line", s.StreamBytes)
+	case s.SharedWeight > 0 && s.SharedBytes < uint64(s.LineBytes):
+		return fmt.Errorf("trace: SharedBytes %d smaller than one line", s.SharedBytes)
+	case s.ZipfAlpha < 0 || s.SharedZipfAlpha < 0:
+		return fmt.Errorf("trace: negative Zipf alpha")
+	}
+	return nil
+}
+
+// Instr is one generated instruction. Non-memory instructions have
+// IsMem false and undefined Addr/Write.
+type Instr struct {
+	IsMem bool
+	Write bool
+	Addr  uint64
+}
+
+// zipfBuckets caps the Zipf table size: regions are sampled through at
+// most this many equal-width buckets of lines, with uniform placement
+// inside a bucket. This bounds per-phase rebuild cost while preserving
+// the skewed reuse-frequency profile the cache sees.
+const zipfBuckets = 512
+
+// regionSampler draws line-granular addresses from a region with a
+// (bucketed) Zipf rank distribution.
+type regionSampler struct {
+	base      uint64
+	lines     uint64
+	lineBytes uint64
+	z         *xrand.Zipf
+	rng       *xrand.Rand
+	perBucket uint64
+}
+
+func newRegionSampler(base, bytes uint64, lineBytes int, alpha float64, rng *xrand.Rand) *regionSampler {
+	lines := bytes / uint64(lineBytes)
+	if lines == 0 {
+		lines = 1
+	}
+	buckets := int(lines)
+	if buckets > zipfBuckets {
+		buckets = zipfBuckets
+	}
+	return &regionSampler{
+		base:      base,
+		lines:     lines,
+		lineBytes: uint64(lineBytes),
+		z:         xrand.NewZipf(rng, buckets, alpha),
+		rng:       rng,
+		perBucket: (lines + uint64(buckets) - 1) / uint64(buckets),
+	}
+}
+
+func (rs *regionSampler) next() uint64 {
+	bucket := uint64(rs.z.Next())
+	lo := bucket * rs.perBucket
+	if lo >= rs.lines {
+		lo = rs.lines - 1
+	}
+	span := rs.perBucket
+	if lo+span > rs.lines {
+		span = rs.lines - lo
+	}
+	line := lo
+	if span > 1 {
+		line += rs.rng.Uint64n(span)
+	}
+	return rs.base + line*rs.lineBytes
+}
+
+// Sources converts a slice of generators to the Source interface
+// (a convenience for the simulator's constructor).
+func Sources(gens []*ThreadGen) []Source {
+	out := make([]Source, len(gens))
+	for i, g := range gens {
+		out[i] = g
+	}
+	return out
+}
+
+// ThreadGen generates one thread's instruction stream. Not safe for
+// concurrent use; each simulated thread owns exactly one generator.
+type ThreadGen struct {
+	spec ThreadSpec
+	rng  *xrand.Rand
+
+	private *regionSampler
+	shared  *regionSampler
+
+	streamPos   uint64 // next streaming offset (bytes, line-aligned)
+	streamLines uint64
+
+	stridePos uint64 // next strided offset within the (scaled) private region
+	wsBytes   uint64 // current scaled private working-set size
+
+	wsScale      float64 // current working-set scale (phase)
+	streamScale  float64 // current stream-weight scale (phase)
+	effStreamWt  float64
+	effSharedWt  float64
+	instructions uint64
+}
+
+// NewThread creates a generator for the spec, drawing randomness from
+// rng (which the generator takes ownership of).
+func NewThread(spec ThreadSpec, rng *xrand.Rand) (*ThreadGen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &ThreadGen{spec: spec, rng: rng}
+	g.SetPhase(1, 1)
+	return g, nil
+}
+
+// Spec returns the generator's spec.
+func (g *ThreadGen) Spec() ThreadSpec { return g.spec }
+
+// Instructions returns how many instructions have been generated.
+func (g *ThreadGen) Instructions() uint64 { return g.instructions }
+
+// SetPhase rescales the thread's behaviour for a new execution phase:
+// wsScale multiplies the private working-set size (clamped to at least
+// one line) and streamScale multiplies the streaming share of accesses
+// (the freed probability mass goes to the private working set).
+// Scales must be positive; values are clamped to [0.05, 20].
+func (g *ThreadGen) SetPhase(wsScale, streamScale float64) {
+	g.wsScale = clamp(wsScale, 0.05, 20)
+	g.streamScale = clamp(streamScale, 0, 20)
+
+	wsBytes := uint64(float64(g.spec.PrivateBytes) * g.wsScale)
+	if wsBytes < uint64(g.spec.LineBytes) {
+		wsBytes = uint64(g.spec.LineBytes)
+	}
+	g.wsBytes = wsBytes
+	if g.stridePos >= wsBytes {
+		g.stridePos = 0
+	}
+	g.private = newRegionSampler(g.spec.PrivateBase, wsBytes, g.spec.LineBytes, g.spec.ZipfAlpha, g.rng)
+
+	if g.spec.SharedWeight > 0 && g.shared == nil {
+		g.shared = newRegionSampler(g.spec.SharedBase, g.spec.SharedBytes,
+			g.spec.LineBytes, g.spec.SharedZipfAlpha, g.rng)
+	}
+
+	g.effStreamWt = clamp(g.spec.StreamWeight*g.streamScale, 0, 1)
+	g.effSharedWt = g.spec.SharedWeight
+	if g.effStreamWt+g.effSharedWt > 1 {
+		g.effStreamWt = 1 - g.effSharedWt
+	}
+	if g.spec.StreamBytes > 0 {
+		g.streamLines = g.spec.StreamBytes / uint64(g.spec.LineBytes)
+	}
+}
+
+// Phase returns the current (wsScale, streamScale).
+func (g *ThreadGen) Phase() (wsScale, streamScale float64) {
+	return g.wsScale, g.streamScale
+}
+
+// Next generates the next instruction.
+func (g *ThreadGen) Next() Instr {
+	g.instructions++
+	if !g.rng.Bool(g.spec.MemRatio) {
+		return Instr{}
+	}
+	in := Instr{IsMem: true, Write: g.rng.Bool(g.spec.WriteRatio)}
+	u := g.rng.Float64()
+	strideCut := g.effStreamWt + g.effSharedWt + g.spec.StrideWeight
+	switch {
+	case u < g.effStreamWt && g.streamLines > 0:
+		in.Addr = g.spec.StreamBase + g.streamPos
+		g.streamPos += uint64(g.spec.LineBytes)
+		if g.streamPos >= g.streamLines*uint64(g.spec.LineBytes) {
+			g.streamPos = 0
+		}
+	case u < g.effStreamWt+g.effSharedWt && g.shared != nil:
+		in.Addr = g.shared.next()
+	case u < strideCut && g.spec.StrideBytes > 0:
+		// Line-aligned strided walk over the scaled private region.
+		in.Addr = g.spec.PrivateBase + g.stridePos&^(uint64(g.spec.LineBytes)-1)
+		g.stridePos += uint64(g.spec.StrideBytes)
+		if g.stridePos >= g.wsBytes {
+			g.stridePos -= g.wsBytes
+		}
+	default:
+		in.Addr = g.private.next()
+	}
+	return in
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

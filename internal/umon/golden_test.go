@@ -1,0 +1,127 @@
+package umon
+
+// Differential test: the monitor's stack-distance accounting is checked
+// against a naive reference that keeps each sampled set as an explicit
+// MRU-ordered slice and recomputes hit depth by linear search.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intracache/internal/xrand"
+)
+
+// refMonitor is the golden model.
+type refMonitor struct {
+	cfg  Config
+	sets map[int][]uint64 // (thread*sets+set) -> MRU-ordered tags
+	hist map[int][]uint64 // thread -> histogram [ways+1]
+}
+
+func newRefMonitor(cfg Config) *refMonitor {
+	return &refMonitor{cfg: cfg, sets: map[int][]uint64{}, hist: map[int][]uint64{}}
+}
+
+func (r *refMonitor) observe(thread int, addr uint64) {
+	line := addr / uint64(r.cfg.LineBytes)
+	set := int(line % uint64(r.cfg.Sets))
+	if set%r.cfg.SampleStride != 0 {
+		return
+	}
+	tag := line / uint64(r.cfg.Sets)
+	key := thread*r.cfg.Sets + set
+	stack := r.sets[key]
+	if r.hist[thread] == nil {
+		r.hist[thread] = make([]uint64, r.cfg.Ways+1)
+	}
+	for d, tg := range stack {
+		if tg == tag {
+			r.hist[thread][d]++
+			copy(stack[1:d+1], stack[:d])
+			stack[0] = tag
+			return
+		}
+	}
+	r.hist[thread][r.cfg.Ways]++
+	if len(stack) < r.cfg.Ways {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack)
+	stack[0] = tag
+	r.sets[key] = stack
+}
+
+func (r *refMonitor) missesAtWays(thread, w int) uint64 {
+	h := r.hist[thread]
+	if h == nil {
+		return 0
+	}
+	var total, hits uint64
+	for d := 0; d <= r.cfg.Ways; d++ {
+		total += h[d]
+		if d < w {
+			hits += h[d]
+		}
+	}
+	return total - hits
+}
+
+func TestGoldenUMON(t *testing.T) {
+	cfg := Config{Sets: 32, Ways: 8, LineBytes: 64, NumThreads: 4, SampleStride: 2}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefMonitor(cfg)
+	r := xrand.New(4242)
+	for i := 0; i < 60_000; i++ {
+		thread := r.Intn(4)
+		addr := uint64(r.Intn(1<<13)) * 64
+		m.Observe(thread, addr)
+		ref.observe(thread, addr)
+	}
+	for th := 0; th < 4; th++ {
+		for w := 0; w <= cfg.Ways; w++ {
+			if got, want := m.MissesAtWays(th, w), ref.missesAtWays(th, w); got != want {
+				t.Fatalf("thread %d misses@%d: impl %d, golden %d", th, w, got, want)
+			}
+		}
+	}
+}
+
+// Property: golden equivalence for arbitrary seeds, strides and
+// associativities.
+func TestQuickGoldenUMON(t *testing.T) {
+	f := func(seed uint64, strideSel, waysSel uint8) bool {
+		cfg := Config{
+			Sets:         16,
+			Ways:         2 << (waysSel % 3), // 2, 4, 8
+			LineBytes:    64,
+			NumThreads:   3,
+			SampleStride: 1 << (strideSel % 3), // 1, 2, 4
+		}
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		ref := newRefMonitor(cfg)
+		r := xrand.New(seed)
+		for i := 0; i < 8_000; i++ {
+			thread := r.Intn(3)
+			addr := uint64(r.Intn(1<<11)) * 64
+			m.Observe(thread, addr)
+			ref.observe(thread, addr)
+		}
+		for th := 0; th < 3; th++ {
+			for w := 0; w <= cfg.Ways; w++ {
+				if m.MissesAtWays(th, w) != ref.missesAtWays(th, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

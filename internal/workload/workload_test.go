@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"testing"
+
+	"intracache/internal/trace"
+)
+
+func TestProfilesCount(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 9 {
+		t.Fatalf("profile count = %d, want 9", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "swim" {
+		t.Errorf("got %s", p.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("Names() length %d", len(names))
+	}
+	if names[4] != "swim" {
+		t.Errorf("names[4] = %s, want swim (paper figure order)", names[4])
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good, _ := ByName("bt")
+	cases := map[string]func(*Profile){
+		"no name":      func(p *Profile) { p.Name = "" },
+		"short wskb":   func(p *Profile) { p.WSKB = []int{1, 2} },
+		"zero ws":      func(p *Profile) { p.WSKB = []int{0, 10, 10, 10} },
+		"bad memratio": func(p *Profile) { p.MemRatio = 0 },
+	}
+	for name, mut := range cases {
+		p := good
+		p.WSKB = append([]int(nil), good.WSKB...)
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestThreadSpecsFourThreads(t *testing.T) {
+	p, _ := ByName("swim")
+	specs, err := p.ThreadSpecs(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("thread %d spec invalid: %v", i, err)
+		}
+		if s.PrivateBytes != uint64(p.WSKB[i])*1024 {
+			t.Errorf("thread %d ws = %d, want %d KB", i, s.PrivateBytes, p.WSKB[i])
+		}
+		if s.SharedBase != 1<<44 {
+			t.Errorf("thread %d shared base %#x", i, s.SharedBase)
+		}
+	}
+	// Private/stream regions must not overlap across threads.
+	for i := range specs {
+		for j := range specs {
+			if i == j {
+				continue
+			}
+			if specs[i].PrivateBase == specs[j].PrivateBase ||
+				specs[i].StreamBase == specs[j].StreamBase {
+				t.Errorf("threads %d and %d share a region base", i, j)
+			}
+		}
+	}
+}
+
+func TestThreadSpecsEightThreads(t *testing.T) {
+	p, _ := ByName("cg")
+	specs, err := p.ThreadSpecs(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	// Tiled threads reuse the canonical sizes with jitter.
+	for i := 4; i < 8; i++ {
+		base := uint64(p.WSKB[i%4]) * 1024
+		got := specs[i].PrivateBytes
+		if got < base/2 || got > base*2 {
+			t.Errorf("thread %d ws %d wildly off canonical %d", i, got, base)
+		}
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("thread %d spec invalid: %v", i, err)
+		}
+	}
+}
+
+func TestThreadSpecsErrors(t *testing.T) {
+	p, _ := ByName("bt")
+	if _, err := p.ThreadSpecs(0, 64); err == nil {
+		t.Error("numThreads=0 accepted")
+	}
+	p.WSKB = nil
+	if _, err := p.ThreadSpecs(4, 64); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestGeneratorsDeterministicPerProfile(t *testing.T) {
+	p, _ := ByName("art")
+	a, err := p.Generators(4, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generators(4, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < 4; th++ {
+		for i := 0; i < 1000; i++ {
+			if a[th].Next() != b[th].Next() {
+				t.Fatalf("thread %d diverged at instr %d", th, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDifferAcrossProfiles(t *testing.T) {
+	pa, _ := ByName("art")
+	pb, _ := ByName("applu")
+	// Give art the same thread-0 spec shape so the only difference is
+	// the name-derived seed offset; streams must still differ.
+	ga, err := pa.Generators(4, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := pb.Generators(4, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 200; i++ {
+		ia, ib := ga[0].Next(), gb[0].Next()
+		if ia.IsMem == ib.IsMem && ia.Addr == ib.Addr {
+			same++
+		}
+	}
+	if same > 150 {
+		t.Errorf("profiles produced near-identical streams (%d/200 equal)", same)
+	}
+}
+
+func TestPhaseFuncConstant(t *testing.T) {
+	p, _ := ByName("bt")
+	f := p.PhaseFunc(4)
+	for iv := 0; iv < 50; iv++ {
+		for th := 0; th < 4; th++ {
+			ws, str := f(th, iv)
+			if ws != 1 || str != 1 {
+				t.Fatalf("constant phase returned (%v,%v)", ws, str)
+			}
+		}
+	}
+}
+
+func TestPhaseFuncSine(t *testing.T) {
+	p, _ := ByName("swim")
+	f := p.PhaseFunc(4)
+	// Affected threads (0 and 1) must move; thread 3 must not.
+	varied := false
+	for iv := 0; iv < 16; iv++ {
+		ws0, _ := f(0, iv)
+		if ws0 != 1 {
+			varied = true
+		}
+		ws3, _ := f(3, iv)
+		if ws3 != 1 {
+			t.Fatalf("unaffected thread moved: %v", ws3)
+		}
+	}
+	if !varied {
+		t.Error("sine phase never moved the affected thread")
+	}
+	// Amplitude bound: 1 ± 0.5.
+	for iv := 0; iv < 64; iv++ {
+		ws, _ := f(0, iv)
+		if ws < 0.49 || ws > 1.51 {
+			t.Fatalf("sine phase out of bounds: %v", ws)
+		}
+	}
+}
+
+func TestPhaseFuncStep(t *testing.T) {
+	p, _ := ByName("cg")
+	f := p.PhaseFunc(4)
+	before, _ := f(2, p.Phase.StepInterval-1)
+	after, _ := f(2, p.Phase.StepInterval)
+	if before != 1 {
+		t.Errorf("before step = %v, want 1", before)
+	}
+	if after != p.Phase.StepScale {
+		t.Errorf("after step = %v, want %v", after, p.Phase.StepScale)
+	}
+	other, _ := f(0, p.Phase.StepInterval+5)
+	if other != 1 {
+		t.Errorf("unaffected thread stepped: %v", other)
+	}
+}
+
+func TestPhaseFuncTiledThreads(t *testing.T) {
+	// In an 8-thread run, thread 4 tiles canonical thread 0, so swim's
+	// sine schedule must affect it too.
+	p, _ := ByName("swim")
+	f := p.PhaseFunc(8)
+	varied := false
+	for iv := 0; iv < 16; iv++ {
+		if ws, _ := f(4, iv); ws != 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("tiled thread 4 not affected by canonical thread 0 schedule")
+	}
+}
+
+func TestSmallWorkingSetProfilesFitCache(t *testing.T) {
+	// The paper observes three benchmarks whose working sets are small
+	// enough that partitioning barely helps; our stand-ins are apsi, bt
+	// and mg. Their total footprint must fit a 256 KiB cache.
+	for _, name := range []string{"apsi", "bt", "mg"} {
+		p, _ := ByName(name)
+		total := 0
+		for _, ws := range p.WSKB {
+			total += ws
+		}
+		total += p.SharedKB
+		if total > 128 {
+			t.Errorf("%s total footprint %d KB should be well under cache size", name, total)
+		}
+	}
+}
+
+func TestLargeFootprintProfilesStressCache(t *testing.T) {
+	// The remaining six must have at least one thread whose working set
+	// exceeds an equal 64-way/4-thread share of a 256 KiB cache (64 KiB).
+	for _, name := range []string{"applu", "art", "equake", "swim", "mgrid", "cg"} {
+		p, _ := ByName(name)
+		maxWS := 0
+		for _, ws := range p.WSKB {
+			if ws > maxWS {
+				maxWS = ws
+			}
+		}
+		if maxWS <= 64 {
+			t.Errorf("%s max working set %d KB does not exceed an equal share", name, maxWS)
+		}
+	}
+}
+
+func TestSpecsAreUsableByTrace(t *testing.T) {
+	for _, p := range Profiles() {
+		gens, err := p.Generators(4, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for th, g := range gens {
+			memSeen := false
+			for i := 0; i < 2000; i++ {
+				if g.Next().IsMem {
+					memSeen = true
+				}
+			}
+			if !memSeen {
+				t.Errorf("%s thread %d produced no memory accesses", p.Name, th)
+			}
+		}
+	}
+}
+
+var sinkSpecs []trace.ThreadSpec
+
+func BenchmarkThreadSpecs(b *testing.B) {
+	p, _ := ByName("swim")
+	for i := 0; i < b.N; i++ {
+		specs, err := p.ThreadSpecs(8, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSpecs = specs
+	}
+}
+
+func TestApplyStrideWiring(t *testing.T) {
+	p, err := ByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StrideBytes == 0 || p.StrideWeight == nil {
+		t.Fatal("applu should carry a strided component")
+	}
+	specs, err := p.ThreadSpecs(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		if s.StrideBytes != p.StrideBytes {
+			t.Errorf("thread %d stride bytes = %d", i, s.StrideBytes)
+		}
+		if s.StrideWeight != p.StrideWeight[i] {
+			t.Errorf("thread %d stride weight = %v, want %v", i, s.StrideWeight, p.StrideWeight[i])
+		}
+	}
+}
+
+func TestStrideWeightValidation(t *testing.T) {
+	p, _ := ByName("applu")
+	p.StrideWeight = []float64{0.1} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Error("short StrideWeight accepted")
+	}
+}

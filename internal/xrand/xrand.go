@@ -1,0 +1,188 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// The simulator must be exactly reproducible across runs and platforms, and
+// each simulated thread needs its own statistically-independent stream so
+// that changing one thread's behaviour cannot perturb another thread's
+// access pattern. math/rand's global state is unsuitable for that, so this
+// package implements SplitMix64 (for seeding) and xoshiro256** (for the
+// streams), plus the samplers the trace generators need (uniform ranges,
+// Bernoulli draws, bounded Zipf).
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand user seeds into full generator state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not usable; create
+// instances with New or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded deterministically from seed. Two calls
+// with the same seed yield identical streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// A xoshiro state of all zeros is degenerate; SplitMix64 cannot emit
+	// four consecutive zeros, but guard anyway for safety.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+// Split returns a new generator whose stream is independent of r's.
+// It is deterministic: the nth Split of a generator seeded with s is
+// always the same. Use it to give each simulated thread its own stream.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly-distributed random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection to
+	// remove modulo bias.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a normally-distributed value with mean 0 and
+// standard deviation 1, using the polar Box-Muller method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. It uses inverse-CDF sampling over a precomputed
+// cumulative table, which is exact and fast for the table sizes the
+// trace generators use (working sets of at most a few hundred thousand
+// lines are sampled through coarse buckets, not per-line tables).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha >= 0.
+// alpha == 0 degenerates to the uniform distribution.
+func NewZipf(r *Rand, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	if alpha < 0 {
+		panic("xrand: NewZipf called with alpha < 0")
+	}
+	z := &Zipf{cdf: make([]float64, n), r: r}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		z.cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sampled rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
