@@ -33,6 +33,13 @@ func main() {
 	showTrace := flag.Bool("trace", true, "print the per-interval trace")
 	asJSON := flag.Bool("json", false, "emit the full result as JSON and exit")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection random seed")
+	faultCPINoise := flag.Float64("fault-cpi-noise", 0, "multiplicative CPI counter noise, e.g. 0.1 for ±10%")
+	faultAddNoise := flag.Float64("fault-add-noise", 0, "additive counter noise in cycles per instruction")
+	faultDrop := flag.Float64("fault-drop", 0, "probability of losing a whole sampling interval")
+	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
+	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
+	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
 	flag.Parse()
 
 	if *list {
@@ -70,6 +77,18 @@ func main() {
 	} else if *intervals > 0 {
 		cfg.Intervals = *intervals
 	}
+	plan := intracache.FaultPlan{
+		Seed:          *faultSeed,
+		CPINoise:      *faultCPINoise,
+		CPIAddNoise:   *faultAddNoise,
+		DropRate:      *faultDrop,
+		StuckRate:     *faultStuck,
+		DecisionDelay: *faultDelay,
+		StallRate:     *faultStall,
+	}
+	if !plan.IsZero() {
+		cfg.Fault = &plan
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -86,8 +105,9 @@ func main() {
 			Benchmark string
 			Policy    string
 			Threads   int
+			Faults    *intracache.FaultStats `json:",omitempty"`
 			Result    intracache.Result
-		}{run.Benchmark, run.Policy.String(), cfg.NumThreads, run.Result}); err != nil {
+		}{run.Benchmark, run.Policy.String(), cfg.NumThreads, run.FaultStats, run.Result}); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,6 +145,15 @@ func main() {
 		100*res.L2Stats.ConstructiveFraction())
 	if res.FinalTargets != nil {
 		fmt.Printf("final way targets:  %v\n", res.FinalTargets)
+	}
+	if res.ControllerHealth != "" {
+		fmt.Printf("controller health:  %s\n", res.ControllerHealth)
+	}
+	if fs := run.FaultStats; fs != nil {
+		fmt.Printf("faults injected:    plan %s over %d intervals "+
+			"(noisy=%d dropped=%d stuck=%d stalls=%d delayed=%d)\n",
+			cfg.Fault.String(), fs.Intervals,
+			fs.NoisySamples, fs.DroppedIntervals, fs.StuckSamples, fs.Stalls, fs.DelayedDecisions)
 	}
 	for tdx := range res.ThreadCycles {
 		fmt.Printf("  thread %d: instr=%d stall=%.1f%%\n", tdx,

@@ -1,13 +1,14 @@
 // Command sweep runs parameter sensitivity sweeps of the dynamic
-// partitioner against a baseline: cache size, interval length, or
-// thread count. Points run in parallel (simulations are independent
-// and deterministic).
+// partitioner against a baseline: cache size, interval length, thread
+// count, or telemetry-fault intensity. Points run in parallel
+// (simulations are independent and deterministic).
 //
 // Usage:
 //
 //	sweep -kind cache    -bench cg          # L2 capacity sweep
 //	sweep -kind interval -bench swim        # execution-interval sweep
 //	sweep -kind threads  -bench mgrid       # core-count sweep
+//	sweep -kind robust                      # policies × fault levels
 //	sweep -kind cache -json                 # machine-readable output
 package main
 
@@ -19,17 +20,25 @@ import (
 
 	"intracache/internal/core"
 	"intracache/internal/experiment"
+	"intracache/internal/fault"
 	"intracache/internal/report"
 )
 
 func main() {
-	kind := flag.String("kind", "cache", "sweep kind: cache, interval, threads")
+	kind := flag.String("kind", "cache", "sweep kind: cache, interval, threads, robust")
 	bench := flag.String("bench", "cg", "benchmark to sweep")
 	baseName := flag.String("baseline", "shared", "baseline policy")
 	candName := flag.String("candidate", "model-based", "candidate policy")
 	sections := flag.Int("sections", 40, "fixed work per run (parallel sections)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection random seed")
+	faultCPINoise := flag.Float64("fault-cpi-noise", 0, "multiplicative CPI counter noise, e.g. 0.1 for ±10%")
+	faultAddNoise := flag.Float64("fault-add-noise", 0, "additive counter noise in cycles per instruction")
+	faultDrop := flag.Float64("fault-drop", 0, "probability of losing a whole sampling interval")
+	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
+	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
+	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
 	flag.Parse()
 
 	baseline, err := core.ParsePolicy(*baseName)
@@ -43,6 +52,23 @@ func main() {
 
 	cfg := experiment.DefaultConfig()
 	cfg.Sections = *sections
+	plan := fault.Plan{
+		Seed:          *faultSeed,
+		CPINoise:      *faultCPINoise,
+		CPIAddNoise:   *faultAddNoise,
+		DropRate:      *faultDrop,
+		StuckRate:     *faultStuck,
+		DecisionDelay: *faultDelay,
+		StallRate:     *faultStall,
+	}
+	if !plan.IsZero() {
+		cfg.Fault = &plan
+	}
+
+	if *kind == "robust" {
+		runRobust(cfg, *workers, *asJSON)
+		return
+	}
 
 	var points []experiment.SweepPoint
 	switch *kind {
@@ -93,9 +119,55 @@ func main() {
 		fmt.Sprintf("%s sweep on %q: %s vs %s", *kind, *bench, *candName, *baseName),
 		"point", "baseline cycles", "dynamic cycles", "improvement %")
 	for _, r := range results {
+		if r.Err != nil {
+			t.AddRow(r.Label, "-", "-", "error: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(r.Label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
 	}
 	fmt.Print(t.String())
+}
+
+// runRobust sweeps policies × fault levels over all nine benchmarks.
+// Any plan built from -fault-* flags is added as a fifth "custom"
+// level on top of the canonical ladder.
+func runRobust(cfg experiment.Config, workers int, asJSON bool) {
+	levels := experiment.DefaultFaultLevels()
+	if cfg.Fault != nil {
+		levels = append(levels, experiment.FaultLevel{Name: "custom", Plan: *cfg.Fault})
+		cfg.Fault = nil
+	}
+	cells, err := experiment.RobustnessSweep(cfg, nil, nil, levels, workers)
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cells); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	failed := 0
+	for _, c := range cells {
+		if c.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%s: %v\n", c.Benchmark, c.Policy, c.Level, c.Err)
+		}
+	}
+	rows, cols, vals := experiment.RobustnessMatrix(cells)
+	fmt.Print(report.Matrix(
+		"robustness: mean improvement over clean shared cache (%), policies x fault levels",
+		rows, cols, vals))
+	fmt.Println()
+	for _, level := range cols {
+		hc := experiment.HealthCounts(cells, core.PolicyModelBased, level)
+		fmt.Printf("model-based health at %-12s %v\n", level+":", hc)
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d/%d cells failed (see stderr)\n", failed, len(cells))
+	}
 }
 
 func fatal(err error) {

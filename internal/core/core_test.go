@@ -466,17 +466,26 @@ type badEngine struct{}
 func (badEngine) Decide(sim.IntervalStats, sim.Monitors, []int) []int { return []int{1, 1} }
 func (badEngine) Name() string                                        { return "bad" }
 
-func TestRuntimeSystemPanicsOnInvalidAssignment(t *testing.T) {
+func TestRuntimeSystemRecoversInvalidAssignment(t *testing.T) {
 	rts, err := NewRuntimeSystem(badEngine{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid assignment did not panic")
+	got := rts.OnInterval(ivWith(0, []float64{1, 1, 1, 1}, []int{4, 4, 4, 4}), fakeMon{ways: 16, threads: 4})
+	// The broken assignment is replaced with the safe equal split
+	// instead of crashing the run.
+	want := []int{4, 4, 4, 4}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
 		}
-	}()
-	rts.OnInterval(ivWith(0, []float64{1, 1, 1, 1}, []int{4, 4, 4, 4}), fakeMon{ways: 16, threads: 4})
+	}
+	if rts.InvalidAssignments() != 1 {
+		t.Errorf("InvalidAssignments = %d, want 1", rts.InvalidAssignments())
+	}
 }
 
 func TestControllerFor(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"intracache/internal/sim"
@@ -33,10 +34,11 @@ func NewCPIModel(blend float64) *CPIModel {
 }
 
 // Observe records that running with `ways` ways during `interval`
-// produced `cpi`. Non-positive observations are ignored (a thread that
-// retired nothing in an interval has no meaningful CPI).
+// produced `cpi`. Non-positive and non-finite observations are ignored
+// (a thread that retired nothing in an interval has no meaningful CPI,
+// and a NaN/Inf reading would poison every fit built from the model).
 func (m *CPIModel) Observe(ways int, cpi float64, interval int) {
-	if cpi <= 0 || ways < 0 {
+	if cpi <= 0 || ways < 0 || math.IsNaN(cpi) || math.IsInf(cpi, 0) {
 		return
 	}
 	if old, ok := m.points[ways]; ok {

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"intracache/internal/sim"
+)
+
+// cleanStream feeds n intervals of well-behaved, slowly varying CPIs to
+// an engine and collects its decisions.
+func cleanStream(e Engine, n int, mon fakeMon) [][]int {
+	current := equalSplit(mon.Ways(), mon.NumThreads())
+	var out [][]int
+	// Every thread's CPI drifts each interval: real counters essentially
+	// never latch the exact same values twice, and an exact repeat is the
+	// stuck-counter signature.
+	for i := 0; i < n; i++ {
+		cpis := []float64{
+			2 + 0.01*float64(i),
+			4 - 0.01*float64(i),
+			1.5 + 0.02*float64(i),
+			3 + 0.01*float64(i%7) + 0.001*float64(i),
+		}
+		d := e.Decide(ivWith(i, cpis, current), mon, current)
+		out = append(out, d)
+		if d != nil {
+			current = d
+		}
+	}
+	return out
+}
+
+// On clean telemetry the resilient engine must be a transparent
+// pass-through: identical decisions to a bare ModelEngine, health
+// pinned at the model rung, zero rejected samples.
+func TestResilientTransparentWhenClean(t *testing.T) {
+	mon := fakeMon{ways: 16, threads: 4}
+	re := NewResilientEngine()
+	got := cleanStream(re, 20, mon)
+	want := cleanStream(NewModelEngine(), 20, mon)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decisions diverge on clean telemetry:\n got %v\nwant %v", got, want)
+	}
+	if re.Health() != HealthModel {
+		t.Errorf("health = %v, want model", re.Health())
+	}
+	if re.RejectedSamples() != 0 {
+		t.Errorf("rejected %d clean samples", re.RejectedSamples())
+	}
+	if re.Demotions() != 0 {
+		t.Errorf("demoted %d times on clean telemetry", re.Demotions())
+	}
+}
+
+// garbageInterval builds an interval whose samples are all invalid.
+func garbageInterval(i int, ways []int) sim.IntervalStats {
+	iv := sim.IntervalStats{Index: i, Threads: make([]sim.ThreadIntervalStats, len(ways))}
+	for t := range ways {
+		iv.Threads[t] = sim.ThreadIntervalStats{WaysAssigned: ways[t]} // zero instructions
+	}
+	return iv
+}
+
+func TestResilientDemotesToStaticUnderGarbage(t *testing.T) {
+	mon := fakeMon{ways: 16, threads: 4}
+	re := NewResilientEngine()
+	current := []int{10, 2, 2, 2}
+	staticInstalls := 0
+	for i := 0; i < 20; i++ {
+		d := re.Decide(garbageInterval(i, current), mon, current)
+		if d != nil {
+			if !reflect.DeepEqual(d, equalSplit(16, 4)) {
+				t.Fatalf("interval %d: unexpected decision %v from garbage", i, d)
+			}
+			staticInstalls++
+			current = d
+		}
+	}
+	if re.Health() != HealthStatic {
+		t.Fatalf("health = %v after 20 garbage intervals, want static", re.Health())
+	}
+	if re.Demotions() != 2 {
+		t.Errorf("demotions = %d, want 2 (model->prop->static)", re.Demotions())
+	}
+	// Each demotion resets to the equal split (model->prop, prop->static).
+	if staticInstalls != 2 {
+		t.Errorf("equal split installed %d times, want one per demotion (2)", staticInstalls)
+	}
+}
+
+func TestResilientPromotesOnRecovery(t *testing.T) {
+	mon := fakeMon{ways: 16, threads: 4}
+	re := NewResilientEngine()
+	current := equalSplit(16, 4)
+	for i := 0; i < 20; i++ {
+		if d := re.Decide(garbageInterval(i, current), mon, current); d != nil {
+			current = d
+		}
+	}
+	if re.Health() != HealthStatic {
+		t.Fatalf("setup failed: health = %v", re.Health())
+	}
+	// Telemetry comes back: a long clean run must climb all the way home.
+	for i := 20; i < 60 && re.Health() != HealthModel; i++ {
+		cpis := []float64{2 + 0.01*float64(i), 4 - 0.01*float64(i),
+			1.5 + 0.02*float64(i), 3 + 0.03*float64(i)}
+		if d := re.Decide(ivWith(i, cpis, current), mon, current); d != nil {
+			current = d
+		}
+	}
+	if re.Health() != HealthModel {
+		t.Errorf("health = %v after sustained recovery, want model", re.Health())
+	}
+	if re.Promotions() < 2 {
+		t.Errorf("promotions = %d, want >= 2", re.Promotions())
+	}
+}
+
+func TestResilientSuspectDetection(t *testing.T) {
+	mon := fakeMon{ways: 16, threads: 2}
+	t.Run("zero instructions and non-finite CPI", func(t *testing.T) {
+		re := NewResilientEngine()
+		re.ensure(2)
+		iv := sim.IntervalStats{Threads: []sim.ThreadIntervalStats{
+			{Instructions: 0, ActiveCycles: 100, WaysAssigned: 8},
+			{Instructions: 1000, ActiveCycles: 2000, WaysAssigned: 8},
+		}}
+		suspect, bad := re.assess(iv)
+		if !suspect[0] || suspect[1] || !bad {
+			t.Errorf("suspect = %v bad = %v", suspect, bad)
+		}
+	})
+	t.Run("stuck counters", func(t *testing.T) {
+		re := NewResilientEngine()
+		current := []int{8, 8}
+		iv := ivWith(0, []float64{2, 3}, current)
+		re.Decide(iv, mon, current)
+		repeat := ivWith(1, []float64{2, 3}, current)
+		repeat.Threads[1].ActiveCycles++ // thread 1 moved, thread 0 stuck
+		suspect, _ := re.assess(repeat)
+		if !suspect[0] || suspect[1] {
+			t.Errorf("suspect = %v, want exact repeat flagged only", suspect)
+		}
+	})
+	t.Run("implausible jump", func(t *testing.T) {
+		re := NewResilientEngine()
+		current := []int{8, 8}
+		re.Decide(ivWith(0, []float64{2, 3}, current), mon, current)
+		jump := ivWith(1, []float64{2 * 10, 3.1}, current) // 10x the trusted CPI
+		suspect, _ := re.assess(jump)
+		if !suspect[0] || suspect[1] {
+			t.Errorf("suspect = %v, want only the jumping thread", suspect)
+		}
+	})
+}
+
+func TestResilientKeepsPartitionWhenAllSamplesBad(t *testing.T) {
+	mon := fakeMon{ways: 16, threads: 4}
+	re := NewResilientEngine()
+	current := []int{10, 2, 2, 2}
+	// Two garbage intervals within the dwell window: no engine should run
+	// and the partition must not move.
+	for i := 0; i < 2; i++ {
+		if d := re.Decide(garbageInterval(i, current), mon, current); d != nil {
+			t.Errorf("interval %d: moved partition to %v on pure garbage", i, d)
+		}
+	}
+	if re.Health() != HealthModel {
+		t.Errorf("demoted before dwell elapsed: %v", re.Health())
+	}
+}
+
+func TestCPIModelObserveRejectsNonFinite(t *testing.T) {
+	m := NewCPIModel(1)
+	m.Observe(4, math.NaN(), 0)
+	m.Observe(5, math.Inf(1), 0)
+	m.Observe(6, math.Inf(-1), 0)
+	m.Observe(7, -2, 0)
+	m.Observe(8, 0, 0)
+	if m.Len() != 0 {
+		t.Fatalf("model accepted %d invalid observations", m.Len())
+	}
+	m.Observe(4, 2.5, 0)
+	if m.Len() != 1 {
+		t.Fatalf("model rejected a valid observation")
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	cases := map[Health]string{
+		HealthModel:        "model",
+		HealthProportional: "proportional",
+		HealthStatic:       "static",
+		Health(42):         "unknown",
+	}
+	for h, want := range cases {
+		if got := h.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", h, got, want)
+		}
+	}
+}

@@ -27,6 +27,9 @@ type RuntimeSystem struct {
 	// MaxLog bounds the decision log (0 = unbounded); long paper-scale
 	// runs keep the most recent entries.
 	MaxLog int
+	// invalidAssignments counts engine outputs that failed validation
+	// and were replaced with the equal split.
+	invalidAssignments int
 }
 
 // NewRuntimeSystem wraps an engine. A nil engine is rejected.
@@ -43,12 +46,30 @@ func (r *RuntimeSystem) Engine() Engine { return r.engine }
 // Decisions returns the decision log.
 func (r *RuntimeSystem) Decisions() []Decision { return r.log }
 
+// InvalidAssignments returns how many engine outputs failed validation
+// and were replaced with the equal split.
+func (r *RuntimeSystem) InvalidAssignments() int { return r.invalidAssignments }
+
+// ControllerHealth implements sim.HealthReporter: engines that track a
+// degradation level (ResilientEngine) report it; plain engines report
+// "" (no health tracking).
+func (r *RuntimeSystem) ControllerHealth() string {
+	if h, ok := r.engine.(interface{ Health() Health }); ok {
+		return h.Health().String()
+	}
+	return ""
+}
+
 // OnInterval implements sim.Controller.
 func (r *RuntimeSystem) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
 	targets := r.engine.Decide(iv, mon, currentFrom(iv))
 	if targets != nil {
 		if err := validAssignment(targets, mon.Ways(), mon.NumThreads()); err != nil {
-			panic(fmt.Sprintf("core: engine %s produced invalid assignment: %v", r.engine.Name(), err))
+			// Degrade instead of crashing the run: an engine that emits a
+			// broken assignment (a bug, or a fallback chain fed garbage)
+			// gets the safe static equal split installed in its place.
+			r.invalidAssignments++
+			targets = equalSplit(mon.Ways(), mon.NumThreads())
 		}
 	}
 	cpis := make([]float64, len(iv.Threads))
@@ -78,12 +99,17 @@ func currentFrom(iv sim.IntervalStats) []int {
 
 // NewEngine constructs the partition engine for a dynamic policy.
 // Non-dynamic policies have no engine and return an error.
+//
+// PolicyModelBased gets the hardened ResilientEngine: under clean
+// telemetry it is a transparent wrapper around ModelEngine (identical
+// decisions), and under degraded telemetry it walks the fallback chain
+// model → CPI-proportional → static-equal instead of chasing garbage.
 func NewEngine(p Policy) (Engine, error) {
 	switch p {
 	case PolicyCPIProportional:
 		return NewCPIProportionalEngine(), nil
 	case PolicyModelBased:
-		return NewModelEngine(), nil
+		return NewResilientEngine(), nil
 	case PolicyThroughputUCP:
 		return NewUCPEngine(), nil
 	case PolicyStaticEqual:

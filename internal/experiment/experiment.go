@@ -9,6 +9,7 @@ import (
 
 	"intracache/internal/cache"
 	"intracache/internal/core"
+	"intracache/internal/fault"
 	"intracache/internal/sim"
 	"intracache/internal/stats"
 	"intracache/internal/trace"
@@ -46,6 +47,12 @@ type Config struct {
 
 	UMONStride int
 	Seed       uint64
+
+	// Fault, when non-nil and non-zero, injects deterministic telemetry
+	// faults between the simulator and the policy's controller (see
+	// internal/fault). Policies without a controller (shared, private,
+	// static-equal) are unaffected: they consume no telemetry.
+	Fault *fault.Plan
 }
 
 // DefaultConfig returns the scaled default configuration: 4 threads,
@@ -98,7 +105,26 @@ func (c Config) Validate() error {
 	if c.Intervals <= 0 && c.Sections <= 0 {
 		return fmt.Errorf("experiment: need a positive run length")
 	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.simParams(core.PolicyShared).Validate()
+}
+
+// wrapFault interposes the config's fault injector between the
+// simulator and ctl. Controllers are the only telemetry consumers, so
+// a nil ctl passes through untouched.
+func (c Config) wrapFault(ctl sim.Controller) (sim.Controller, *fault.Injector, error) {
+	if c.Fault == nil || c.Fault.IsZero() || ctl == nil {
+		return ctl, nil, nil
+	}
+	inj, err := fault.NewInjector(*c.Fault, ctl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inj, inj, nil
 }
 
 // simParams builds the simulator parameters for a policy.
@@ -137,6 +163,18 @@ type Run struct {
 	// RTS is the runtime system used, for introspection (decision log,
 	// CPI models); nil for non-dynamic policies.
 	RTS *core.RuntimeSystem
+	// FaultStats counts the telemetry faults injected during the run;
+	// nil when the run had no fault injector attached.
+	FaultStats *fault.Stats
+}
+
+// noteFaults records the injector's counters into the run.
+func (r *Run) noteFaults(inj *fault.Injector) {
+	if inj == nil {
+		return
+	}
+	st := inj.Stats()
+	r.FaultStats = &st
 }
 
 // RunMode selects the run-length clock.
@@ -161,6 +199,10 @@ func RunOne(cfg Config, prof workload.Profile, pol core.Policy, mode RunMode) (R
 	if err != nil {
 		return Run{}, err
 	}
+	ctl, inj, err := cfg.wrapFault(ctl)
+	if err != nil {
+		return Run{}, err
+	}
 	s, err := sim.New(cfg.simParams(pol), trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
@@ -171,7 +213,9 @@ func RunOne(cfg Config, prof workload.Profile, pol core.Policy, mode RunMode) (R
 	} else {
 		res = s.RunIntervals(cfg.Intervals)
 	}
-	return Run{Benchmark: prof.Name, Policy: pol, Result: res, RTS: rts}, nil
+	run := Run{Benchmark: prof.Name, Policy: pol, Result: res, RTS: rts}
+	run.noteFaults(inj)
+	return run, nil
 }
 
 // RunSources simulates arbitrary instruction sources (e.g. trace
@@ -179,6 +223,10 @@ func RunOne(cfg Config, prof workload.Profile, pol core.Policy, mode RunMode) (R
 // traces carry their phases inside the stream.
 func RunSources(cfg Config, name string, sources []trace.Source, pol core.Policy, mode RunMode) (Run, error) {
 	ctl, rts, err := core.ControllerFor(pol)
+	if err != nil {
+		return Run{}, err
+	}
+	ctl, inj, err := cfg.wrapFault(ctl)
 	if err != nil {
 		return Run{}, err
 	}
@@ -192,7 +240,9 @@ func RunSources(cfg Config, name string, sources []trace.Source, pol core.Policy
 	} else {
 		res = s.RunIntervals(cfg.Intervals)
 	}
-	return Run{Benchmark: name, Policy: pol, Result: res, RTS: rts}, nil
+	run := Run{Benchmark: name, Policy: pol, Result: res, RTS: rts}
+	run.noteFaults(inj)
+	return run, nil
 }
 
 // RunWithEngine runs a benchmark on a partitioned L2 driven by the
@@ -208,8 +258,12 @@ func RunWithEngine(cfg Config, prof workload.Profile, eng core.Engine, mode RunM
 	if err != nil {
 		return Run{}, err
 	}
+	ctl, inj, err := cfg.wrapFault(sim.Controller(rts))
+	if err != nil {
+		return Run{}, err
+	}
 	p := cfg.simParams(core.PolicyModelBased) // partitioned L2, no UMON
-	s, err := sim.New(p, trace.Sources(gens), rts, prof.PhaseFunc(cfg.NumThreads))
+	s, err := sim.New(p, trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
 	}
@@ -219,7 +273,9 @@ func RunWithEngine(cfg Config, prof workload.Profile, eng core.Engine, mode RunM
 	} else {
 		res = s.RunIntervals(cfg.Intervals)
 	}
-	return Run{Benchmark: prof.Name, Policy: core.PolicyModelBased, Result: res, RTS: rts}, nil
+	run := Run{Benchmark: prof.Name, Policy: core.PolicyModelBased, Result: res, RTS: rts}
+	run.noteFaults(inj)
+	return run, nil
 }
 
 // RunWithMigration runs a benchmark under a policy and, at the end of
@@ -238,6 +294,10 @@ func RunWithMigration(cfg Config, prof workload.Profile, pol core.Policy, swapAt
 	if err != nil {
 		return Run{}, err
 	}
+	ctl, inj, err := cfg.wrapFault(ctl)
+	if err != nil {
+		return Run{}, err
+	}
 	s, err := sim.New(cfg.simParams(pol), trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
@@ -247,7 +307,9 @@ func RunWithMigration(cfg Config, prof workload.Profile, pol core.Policy, swapAt
 		return Run{}, err
 	}
 	res := s.RunIntervals(cfg.Intervals)
-	return Run{Benchmark: prof.Name, Policy: pol, Result: res, RTS: rts}, nil
+	run := Run{Benchmark: prof.Name, Policy: pol, Result: res, RTS: rts}
+	run.noteFaults(inj)
+	return run, nil
 }
 
 // RunOneByName is RunOne with a benchmark name lookup.

@@ -350,8 +350,13 @@ func Fig15Models(cfg Config, benchmark string) ([]ModelCurve, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, ok := r.RTS.Engine().(*core.ModelEngine)
-	if !ok {
+	var eng *core.ModelEngine
+	switch en := r.RTS.Engine().(type) {
+	case *core.ModelEngine:
+		eng = en
+	case *core.ResilientEngine:
+		eng = en.Model
+	default:
 		return nil, nil, fmt.Errorf("fig15: unexpected engine %T", r.RTS.Engine())
 	}
 	models := eng.Models()

@@ -20,10 +20,10 @@ import (
 func CompareAllParallel(cfg Config, baseline, candidate core.Policy, workers int) ([]Comparison, error) {
 	profiles := workload.Profiles()
 	out := make([]Comparison, len(profiles))
-	errs := make([]error, len(profiles))
-	forEachIndex(len(profiles), workers, func(i int) {
+	errs := forEachIndex(len(profiles), workers, func(i int) error {
 		c, err := Compare(cfg, profiles[i], baseline, candidate)
-		out[i], errs[i] = c, err
+		out[i] = c
+		return err
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -51,36 +51,54 @@ type SweepResult struct {
 
 // Sweep runs baseline-vs-candidate on one benchmark across a set of
 // configurations in parallel and returns one result per point, in
-// order.
+// order. A failing cell does not abort the sweep: its Err field is
+// populated and the remaining cells still run. The returned error is
+// non-nil only when *every* cell failed (the sweep produced nothing),
+// and the per-cell results are returned alongside it for inspection.
 func Sweep(points []SweepPoint, benchmark string, baseline, candidate core.Policy, workers int) ([]SweepResult, error) {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]SweepResult, len(points))
-	forEachIndex(len(points), workers, func(i int) {
-		res := SweepResult{Label: points[i].Label, Benchmark: benchmark}
+	errs := forEachIndex(len(points), workers, func(i int) error {
+		out[i] = SweepResult{Label: points[i].Label, Benchmark: benchmark}
 		c, err := Compare(points[i].Cfg, prof, baseline, candidate)
 		if err != nil {
-			res.Err = err
-		} else {
-			res.ImprovementPct = c.ImprovementPct
-			res.BaselineCycles = c.BaselineCycles
-			res.DynamicCycles = c.CandidateCycles
+			return err
 		}
-		out[i] = res
+		out[i].ImprovementPct = c.ImprovementPct
+		out[i].BaselineCycles = c.BaselineCycles
+		out[i].DynamicCycles = c.CandidateCycles
+		return nil
 	})
-	for _, r := range out {
-		if r.Err != nil {
-			return nil, fmt.Errorf("experiment: sweep %s: %w", r.Label, r.Err)
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			out[i].Err = err
+			failed++
 		}
+	}
+	if len(points) > 0 && failed == len(points) {
+		return out, fmt.Errorf("experiment: sweep: all %d cells failed; first: %w", failed, out[0].Err)
 	}
 	return out, nil
 }
 
 // forEachIndex applies fn to every index in [0, n) using a bounded
-// worker pool.
-func forEachIndex(n, workers int, fn func(i int)) {
+// worker pool and returns one error slot per index. A panicking fn is
+// recovered and surfaced as that index's error instead of crashing the
+// whole sweep.
+func forEachIndex(n, workers int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("experiment: index %d panicked: %v", i, r)
+			}
+		}()
+		errs[i] = fn(i)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,9 +107,9 @@ func forEachIndex(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
+		return errs
 	}
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -100,7 +118,7 @@ func forEachIndex(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -109,4 +127,5 @@ func forEachIndex(n, workers int, fn func(i int)) {
 	}
 	close(work)
 	wg.Wait()
+	return errs
 }

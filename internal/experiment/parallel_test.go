@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"intracache/internal/core"
+	"intracache/internal/sim"
+	"intracache/internal/workload"
 )
 
 func TestCompareAllParallelMatchesSerial(t *testing.T) {
@@ -85,8 +88,9 @@ func TestSweepPropagatesErrors(t *testing.T) {
 func TestForEachIndexCoversAll(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
 		var mask [37]int32
-		forEachIndex(len(mask), workers, func(i int) {
+		forEachIndex(len(mask), workers, func(i int) error {
 			atomic.AddInt32(&mask[i], 1)
+			return nil
 		})
 		for i, v := range mask {
 			if v != 1 {
@@ -95,7 +99,75 @@ func TestForEachIndexCoversAll(t *testing.T) {
 		}
 	}
 	// n = 0 is a no-op.
-	forEachIndex(0, 4, func(int) { t.Fatal("called for n=0") })
+	forEachIndex(0, 4, func(int) error { t.Fatal("called for n=0"); return nil })
+}
+
+func TestForEachIndexRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		errs := forEachIndex(5, workers, func(i int) error {
+			if i == 2 || i == 4 {
+				panic("boom " + itoaTest(i))
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if i == 2 || i == 4 {
+				if err == nil || !strings.Contains(err.Error(), "panicked") {
+					t.Errorf("workers=%d: index %d error = %v, want panic error", workers, i, err)
+				}
+			} else if err != nil {
+				t.Errorf("workers=%d: index %d unexpected error %v", workers, i, err)
+			}
+		}
+	}
+}
+
+// panicEngine is a partition-engine stub whose Decide panics, modelling
+// a buggy policy inside a parallel sweep.
+type panicEngine struct{}
+
+func (panicEngine) Decide(sim.IntervalStats, sim.Monitors, []int) []int { panic("policy stub panic") }
+func (panicEngine) Name() string                                        { return "panic-stub" }
+
+func TestParallelSweepSurvivesPanickingPolicy(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 3
+	profiles := workload.Profiles()[:3]
+	errs := forEachIndex(len(profiles), 2, func(i int) error {
+		if i == 1 {
+			_, err := RunWithEngine(cfg, profiles[i], panicEngine{}, BySections)
+			return err
+		}
+		_, err := RunOne(cfg, profiles[i], core.PolicyStaticEqual, BySections)
+		return err
+	})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "panicked") {
+		t.Errorf("panicking policy error = %v, want recovered panic", errs[1])
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy cells errored: %v / %v", errs[0], errs[2])
+	}
+}
+
+func TestSweepReturnsPartialResults(t *testing.T) {
+	good := QuickConfig()
+	good.Sections = 4
+	bad := good
+	bad.L2KB = 7 // invalid geometry
+	points := []SweepPoint{
+		{Label: "bad", Cfg: bad},
+		{Label: "good", Cfg: good},
+	}
+	out, err := Sweep(points, "cg", core.PolicyShared, core.PolicyStaticEqual, 2)
+	if err != nil {
+		t.Fatalf("mixed sweep returned top-level error: %v", err)
+	}
+	if out[0].Err == nil {
+		t.Error("bad cell has no error")
+	}
+	if out[1].Err != nil || out[1].BaselineCycles == 0 {
+		t.Errorf("good cell broken: %+v", out[1])
+	}
 }
 
 func itoaTest(n int) string {

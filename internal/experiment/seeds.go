@@ -53,16 +53,15 @@ func CompareSeeds(cfg Config, prof workload.Profile, baseline, candidate core.Po
 		return SeededComparison{}, fmt.Errorf("experiment: no seeds")
 	}
 	out := SeededComparison{Benchmark: prof.Name, PerSeed: make([]float64, len(seeds))}
-	errs := make([]error, len(seeds))
-	forEachIndex(len(seeds), workers, func(i int) {
+	errs := forEachIndex(len(seeds), workers, func(i int) error {
 		c := cfg
 		c.Seed = seeds[i]
 		cmp, err := Compare(c, prof, baseline, candidate)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		out.PerSeed[i] = cmp.ImprovementPct
+		return nil
 	})
 	for _, err := range errs {
 		if err != nil {

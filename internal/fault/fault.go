@@ -1,0 +1,269 @@
+// Package fault injects deterministic, seeded measurement faults into
+// the signal path between the simulator and the partitioning runtime.
+//
+// The paper's runtime steers the partition from per-interval CPI
+// readings taken off hardware performance monitors; our simulator
+// delivers those readings perfectly. Real counters do not: samples are
+// noisy, drop out, stick at stale values, and repartition commands
+// reach the configuration unit late. An Injector models exactly that
+// degraded telemetry: it sits between the simulator and any
+// sim.Controller, perturbing each interval's ThreadIntervalStats before
+// the controller sees them and optionally delaying the controller's
+// decisions on the way back. Ground truth is untouched — the simulator
+// keeps executing and recording real counters — so a run under faults
+// measures how much the *controller* suffers from bad inputs, not a
+// different machine.
+//
+// All randomness derives from Plan.Seed through internal/xrand, so a
+// given (Plan, workload, config) triple reproduces bit-identically.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"intracache/internal/sim"
+	"intracache/internal/xrand"
+)
+
+// Plan configures one run's fault injection. The zero value injects
+// nothing (see IsZero).
+type Plan struct {
+	// Seed drives the injector's private RNG stream.
+	Seed uint64
+
+	// CPINoise is multiplicative counter noise: each thread's reported
+	// ActiveCycles is scaled by 1 + U(-CPINoise, +CPINoise) per
+	// interval. 0.1 models ±10% CPI measurement error.
+	CPINoise float64
+	// CPIAddNoise is additive counter noise: up to CPIAddNoise extra
+	// cycles per retired instruction, uniform per interval, are added to
+	// the reported ActiveCycles (a biased counter that over-reads).
+	CPIAddNoise float64
+
+	// DropRate is the per-interval probability that the whole sample is
+	// lost: every thread reports zero instructions and zero cycles, as
+	// when a sampling window is missed. Controllers must treat such
+	// intervals as "no data", not as "infinitely fast threads".
+	DropRate float64
+
+	// StuckRate is the per-thread, per-interval probability that the
+	// thread's counters read back the previous interval's values — a
+	// stuck register that stopped latching.
+	StuckRate float64
+
+	// DecisionDelay applies each repartition decision this many
+	// intervals after the controller issued it, modelling a slow
+	// configuration path between the runtime system and the cache.
+	DecisionDelay int
+
+	// StallRate is the per-thread, per-interval probability of a
+	// transient apparent stall: the thread's reported ActiveCycles are
+	// inflated by StallFactor, as when an OS preemption or SMM excursion
+	// lands inside the sampling window.
+	StallRate float64
+	// StallFactor is the ActiveCycles multiplier a stall applies
+	// (default 4 when zero).
+	StallFactor float64
+}
+
+// IsZero reports whether the plan injects no faults at all (the seed
+// alone does not count).
+func (p Plan) IsZero() bool {
+	return p.CPINoise == 0 && p.CPIAddNoise == 0 && p.DropRate == 0 &&
+		p.StuckRate == 0 && p.DecisionDelay == 0 && p.StallRate == 0
+}
+
+// Validate reports whether the plan's parameters are usable.
+func (p Plan) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", p.DropRate},
+		{"StuckRate", p.StuckRate},
+		{"StallRate", p.StallRate},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.CPINoise < 0 {
+		return fmt.Errorf("fault: negative CPINoise %v", p.CPINoise)
+	}
+	if p.CPIAddNoise < 0 {
+		return fmt.Errorf("fault: negative CPIAddNoise %v", p.CPIAddNoise)
+	}
+	if p.DecisionDelay < 0 {
+		return fmt.Errorf("fault: negative DecisionDelay %d", p.DecisionDelay)
+	}
+	if p.StallFactor != 0 && p.StallFactor < 1 {
+		return fmt.Errorf("fault: StallFactor %v below 1", p.StallFactor)
+	}
+	return nil
+}
+
+// String renders the plan's active knobs compactly, for labels.
+func (p Plan) String() string {
+	if p.IsZero() {
+		return "none"
+	}
+	var parts []string
+	add := func(format string, args ...interface{}) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	if p.CPINoise > 0 {
+		add("noise=%g", p.CPINoise)
+	}
+	if p.CPIAddNoise > 0 {
+		add("add=%g", p.CPIAddNoise)
+	}
+	if p.DropRate > 0 {
+		add("drop=%g", p.DropRate)
+	}
+	if p.StuckRate > 0 {
+		add("stuck=%g", p.StuckRate)
+	}
+	if p.DecisionDelay > 0 {
+		add("delay=%d", p.DecisionDelay)
+	}
+	if p.StallRate > 0 {
+		add("stall=%g", p.StallRate)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p Plan) stallFactor() float64 {
+	if p.StallFactor == 0 {
+		return 4
+	}
+	return p.StallFactor
+}
+
+// Stats counts the faults an Injector has fired.
+type Stats struct {
+	Intervals        uint64 // intervals observed
+	DroppedIntervals uint64 // whole-interval sample losses
+	StuckSamples     uint64 // per-thread stuck-counter repeats
+	NoisySamples     uint64 // per-thread multiplicative noise applications
+	Stalls           uint64 // per-thread transient stalls
+	DelayedDecisions uint64 // non-nil decisions released late
+}
+
+// Injector implements sim.Controller by perturbing interval samples
+// according to a Plan and forwarding them to an inner controller. A nil
+// inner controller is allowed (telemetry is perturbed into the void and
+// no repartitioning ever happens), which keeps wiring uniform for
+// policies without a runtime system.
+type Injector struct {
+	plan  Plan
+	inner sim.Controller
+	rng   *xrand.Rand
+
+	prev     []sim.ThreadIntervalStats // last *reported* (perturbed) samples
+	havePrev bool
+	queue    [][]int // pending decisions when DecisionDelay > 0
+	stats    Stats
+}
+
+// NewInjector builds an injector for the plan around inner.
+func NewInjector(plan Plan, inner sim.Controller) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	// Offset the seed so a workload and its fault stream sharing a seed
+	// value do not walk the same xrand sequence.
+	return &Injector{plan: plan, inner: inner, rng: xrand.New(plan.Seed ^ 0xfa017_fa017)}, nil
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns the fault counters accumulated so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// OnInterval implements sim.Controller: perturb, forward, delay.
+func (in *Injector) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+	in.stats.Intervals++
+	if in.prev == nil {
+		in.prev = make([]sim.ThreadIntervalStats, len(iv.Threads))
+	}
+	// The Threads slice is shared with the simulator's recorded interval
+	// history; perturb a copy so ground truth stays intact.
+	perturbed := iv
+	perturbed.Threads = append([]sim.ThreadIntervalStats(nil), iv.Threads...)
+
+	if in.plan.DropRate > 0 && in.rng.Bool(in.plan.DropRate) {
+		in.stats.DroppedIntervals++
+		for t := range perturbed.Threads {
+			ways := perturbed.Threads[t].WaysAssigned
+			perturbed.Threads[t] = sim.ThreadIntervalStats{WaysAssigned: ways}
+		}
+	} else {
+		for t := range perturbed.Threads {
+			in.perturbThread(&perturbed.Threads[t], t)
+		}
+	}
+	for t := range perturbed.Threads {
+		in.prev[t] = perturbed.Threads[t]
+	}
+	in.havePrev = true
+
+	var targets []int
+	if in.inner != nil {
+		targets = in.inner.OnInterval(perturbed, mon)
+	}
+	if in.plan.DecisionDelay <= 0 {
+		return targets
+	}
+	in.queue = append(in.queue, targets)
+	if len(in.queue) <= in.plan.DecisionDelay {
+		return nil
+	}
+	out := in.queue[0]
+	in.queue = in.queue[1:]
+	if out != nil {
+		in.stats.DelayedDecisions++
+	}
+	return out
+}
+
+// perturbThread applies the per-thread fault draws to one sample. The
+// draw order is fixed (stuck, noise, additive, stall) so a plan's fault
+// stream is reproducible.
+func (in *Injector) perturbThread(ts *sim.ThreadIntervalStats, t int) {
+	if in.plan.StuckRate > 0 && in.havePrev && in.rng.Bool(in.plan.StuckRate) {
+		// A stuck counter repeats the last values it latched; the way
+		// assignment is runtime-side knowledge, not a counter, and stays
+		// current.
+		ways := ts.WaysAssigned
+		*ts = in.prev[t]
+		ts.WaysAssigned = ways
+		in.stats.StuckSamples++
+		return
+	}
+	if in.plan.CPINoise > 0 {
+		f := 1 + (2*in.rng.Float64()-1)*in.plan.CPINoise
+		if f < 0.05 {
+			f = 0.05 // a counter cannot under-read below a sliver of truth
+		}
+		ts.ActiveCycles = uint64(float64(ts.ActiveCycles) * f)
+		in.stats.NoisySamples++
+	}
+	if in.plan.CPIAddNoise > 0 {
+		ts.ActiveCycles += uint64(in.rng.Float64() * in.plan.CPIAddNoise * float64(ts.Instructions))
+	}
+	if in.plan.StallRate > 0 && in.rng.Bool(in.plan.StallRate) {
+		ts.ActiveCycles = uint64(float64(ts.ActiveCycles) * in.plan.stallFactor())
+		in.stats.Stalls++
+	}
+}
+
+// ControllerHealth implements sim.HealthReporter by delegating to the
+// inner controller, so the injector is transparent to health reporting.
+func (in *Injector) ControllerHealth() string {
+	if h, ok := in.inner.(sim.HealthReporter); ok {
+		return h.ControllerHealth()
+	}
+	return ""
+}

@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"intracache/internal/sim"
+)
+
+// fakeMonitors satisfies sim.Monitors for driving an Injector directly.
+type fakeMonitors struct{ ways, threads int }
+
+func (m fakeMonitors) MissCurve(int) []uint64 { return nil }
+func (m fakeMonitors) Ways() int              { return m.ways }
+func (m fakeMonitors) NumThreads() int        { return m.threads }
+
+// recordingController captures every interval it is shown and returns a
+// scripted decision per call.
+type recordingController struct {
+	seen      []sim.IntervalStats
+	decisions [][]int
+}
+
+func (c *recordingController) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+	cp := iv
+	cp.Threads = append([]sim.ThreadIntervalStats(nil), iv.Threads...)
+	c.seen = append(c.seen, cp)
+	if n := len(c.seen) - 1; n < len(c.decisions) {
+		return c.decisions[n]
+	}
+	return nil
+}
+
+func sampleInterval(idx int) sim.IntervalStats {
+	return sim.IntervalStats{
+		Index: idx,
+		Threads: []sim.ThreadIntervalStats{
+			{Instructions: 1000, ActiveCycles: 2000, L1Misses: 50, L2Accesses: 40, L2Hits: 30, L2Misses: 10, WaysAssigned: 8},
+			{Instructions: 800, ActiveCycles: 4000, L1Misses: 90, L2Accesses: 80, L2Hits: 20, L2Misses: 60, WaysAssigned: 8},
+		},
+	}
+}
+
+func TestDropZeroesSamplesButKeepsWays(t *testing.T) {
+	inner := &recordingController{}
+	inj, err := NewInjector(Plan{Seed: 3, DropRate: 1}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := sampleInterval(0)
+	orig := append([]sim.ThreadIntervalStats(nil), iv.Threads...)
+	inj.OnInterval(iv, fakeMonitors{16, 2})
+	if !reflect.DeepEqual(iv.Threads, orig) {
+		t.Fatal("injector mutated the simulator's sample slice")
+	}
+	got := inner.seen[0]
+	for ti, ts := range got.Threads {
+		if ts.Instructions != 0 || ts.ActiveCycles != 0 || ts.L2Misses != 0 {
+			t.Errorf("thread %d not zeroed: %+v", ti, ts)
+		}
+		if ts.WaysAssigned != 8 {
+			t.Errorf("thread %d lost its way assignment: %d", ti, ts.WaysAssigned)
+		}
+	}
+	if s := inj.Stats(); s.DroppedIntervals != 1 || s.Intervals != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStuckRepeatsPreviousReport(t *testing.T) {
+	inner := &recordingController{}
+	inj, err := NewInjector(Plan{Seed: 3, StuckRate: 1}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := fakeMonitors{16, 2}
+	first := sampleInterval(0)
+	inj.OnInterval(first, mon)
+	// No previous report exists, so interval 0 passes through untouched.
+	if !reflect.DeepEqual(inner.seen[0].Threads, first.Threads) {
+		t.Fatalf("first interval perturbed without history: %+v", inner.seen[0].Threads)
+	}
+	second := sampleInterval(1)
+	second.Threads[0].Instructions = 5555
+	second.Threads[0].ActiveCycles = 9999
+	second.Threads[0].WaysAssigned = 12 // runtime moved ways meanwhile
+	inj.OnInterval(second, mon)
+	got := inner.seen[1].Threads[0]
+	if got.Instructions != first.Threads[0].Instructions || got.ActiveCycles != first.Threads[0].ActiveCycles {
+		t.Errorf("stuck sample not repeated: %+v", got)
+	}
+	if got.WaysAssigned != 12 {
+		t.Errorf("stuck sample clobbered the current way assignment: %d", got.WaysAssigned)
+	}
+	if s := inj.Stats(); s.StuckSamples != 2 {
+		t.Errorf("stuck samples = %d, want 2", s.StuckSamples)
+	}
+}
+
+func TestNoiseBoundedAndCounted(t *testing.T) {
+	inner := &recordingController{}
+	inj, err := NewInjector(Plan{Seed: 9, CPINoise: 0.25}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := fakeMonitors{16, 2}
+	for i := 0; i < 50; i++ {
+		inj.OnInterval(sampleInterval(i), mon)
+	}
+	for _, iv := range inner.seen {
+		for ti, ts := range iv.Threads {
+			truth := sampleInterval(0).Threads[ti].ActiveCycles
+			lo := uint64(float64(truth) * 0.74)
+			hi := uint64(float64(truth) * 1.26)
+			if ts.ActiveCycles < lo || ts.ActiveCycles > hi {
+				t.Fatalf("interval %d thread %d: cycles %d outside [%d,%d]",
+					iv.Index, ti, ts.ActiveCycles, lo, hi)
+			}
+			if ts.Instructions != sampleInterval(0).Threads[ti].Instructions {
+				t.Fatalf("noise touched instruction counts")
+			}
+		}
+	}
+	if s := inj.Stats(); s.NoisySamples != 100 {
+		t.Errorf("noisy samples = %d, want 100", s.NoisySamples)
+	}
+}
+
+func TestDecisionDelayShiftsByK(t *testing.T) {
+	const k = 2
+	d := [][]int{{8, 8}, {10, 6}, {12, 4}, {9, 7}, {5, 11}}
+	inner := &recordingController{decisions: d}
+	inj, err := NewInjector(Plan{Seed: 1, DecisionDelay: k}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := fakeMonitors{16, 2}
+	var got [][]int
+	for i := 0; i < len(d)+k; i++ {
+		got = append(got, inj.OnInterval(sampleInterval(i), mon))
+	}
+	for i := 0; i < k; i++ {
+		if got[i] != nil {
+			t.Errorf("interval %d: decision released before delay: %v", i, got[i])
+		}
+	}
+	for i := range d {
+		if !reflect.DeepEqual(got[i+k], d[i]) {
+			t.Errorf("interval %d: got %v, want decision %d = %v", i+k, got[i+k], i, d[i])
+		}
+	}
+	if s := inj.Stats(); s.DelayedDecisions != uint64(len(d)) {
+		t.Errorf("delayed decisions = %d, want %d", s.DelayedDecisions, len(d))
+	}
+}
+
+func TestFaultStreamDeterministic(t *testing.T) {
+	plan := Plan{Seed: 77, CPINoise: 0.4, DropRate: 0.2, StuckRate: 0.1, StallRate: 0.1}
+	run := func() []sim.IntervalStats {
+		inner := &recordingController{}
+		inj, err := NewInjector(plan, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := fakeMonitors{16, 2}
+		for i := 0; i < 200; i++ {
+			inj.OnInterval(sampleInterval(i), mon)
+		}
+		return inner.seen
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan produced different fault streams")
+	}
+	other := plan
+	other.Seed = 78
+	inner := &recordingController{}
+	inj, _ := NewInjector(other, inner)
+	for i := 0; i < 200; i++ {
+		inj.OnInterval(sampleInterval(i), fakeMonitors{16, 2})
+	}
+	if reflect.DeepEqual(a, inner.seen) {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestStallInflatesCycles(t *testing.T) {
+	inner := &recordingController{}
+	inj, err := NewInjector(Plan{Seed: 5, StallRate: 1, StallFactor: 3}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.OnInterval(sampleInterval(0), fakeMonitors{16, 2})
+	for ti, ts := range inner.seen[0].Threads {
+		want := sampleInterval(0).Threads[ti].ActiveCycles * 3
+		if ts.ActiveCycles != want {
+			t.Errorf("thread %d cycles = %d, want %d", ti, ts.ActiveCycles, want)
+		}
+	}
+	if s := inj.Stats(); s.Stalls != 2 {
+		t.Errorf("stalls = %d, want 2", s.Stalls)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{StuckRate: 2},
+		{StallRate: -1},
+		{CPINoise: -0.5},
+		{CPIAddNoise: -1},
+		{DecisionDelay: -1},
+		{StallFactor: 0.5, StallRate: 0.1},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(p, nil); err == nil {
+			t.Errorf("plan %d (%+v) accepted", i, p)
+		}
+	}
+	if _, err := NewInjector(Plan{Seed: 1, CPINoise: 0.1, DropRate: 0.05}, nil); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestPlanZeroAndString(t *testing.T) {
+	if !(Plan{Seed: 99}).IsZero() {
+		t.Error("seed-only plan should be zero")
+	}
+	if (Plan{DropRate: 0.1}).IsZero() {
+		t.Error("dropping plan reported zero")
+	}
+	if s := (Plan{}).String(); s != "none" {
+		t.Errorf("zero plan string = %q", s)
+	}
+	s := Plan{CPINoise: 0.1, DropRate: 0.05, DecisionDelay: 2}.String()
+	for _, want := range []string{"noise=0.1", "drop=0.05", "delay=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+}
+
+// healthyInner is a controller that reports a health state.
+type healthyInner struct{ recordingController }
+
+func (healthyInner) ControllerHealth() string { return "proportional" }
+
+func TestHealthDelegation(t *testing.T) {
+	inj, _ := NewInjector(Plan{Seed: 1, DropRate: 0.1}, &healthyInner{})
+	if h := inj.ControllerHealth(); h != "proportional" {
+		t.Errorf("health = %q", h)
+	}
+	plain, _ := NewInjector(Plan{Seed: 1, DropRate: 0.1}, &recordingController{})
+	if h := plain.ControllerHealth(); h != "" {
+		t.Errorf("health without reporter = %q", h)
+	}
+	nilInner, _ := NewInjector(Plan{Seed: 1, DropRate: 0.1}, nil)
+	if h := nilInner.ControllerHealth(); h != "" {
+		t.Errorf("health with nil inner = %q", h)
+	}
+	if out := nilInner.OnInterval(sampleInterval(0), fakeMonitors{16, 2}); out != nil {
+		t.Errorf("nil inner returned targets %v", out)
+	}
+}

@@ -175,6 +175,59 @@ func GroupedBars(title string, labels []string, seriesNames []string, values [][
 	return b.String()
 }
 
+// Matrix renders a rows × columns grid of values with row and column
+// labels — e.g. policies × fault levels with one mean improvement per
+// cell. Missing cells (short rows) render blank.
+func Matrix(title string, rowLabels, colLabels []string, values [][]float64) string {
+	cells := make([][]string, len(values))
+	for i, row := range values {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = fmt.Sprintf("%.2f", v)
+		}
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	colW := make([]int, len(colLabels))
+	for j, l := range colLabels {
+		colW[j] = len(l)
+	}
+	for _, row := range cells {
+		for j, c := range row {
+			if j < len(colW) && len(c) > colW[j] {
+				colW[j] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, "")
+	for j, l := range colLabels {
+		fmt.Fprintf(&b, "  %*s", colW[j], l)
+	}
+	b.WriteString("\n")
+	for i, l := range rowLabels {
+		fmt.Fprintf(&b, "%-*s", labelW, l)
+		if i < len(cells) {
+			for j := range colLabels {
+				c := ""
+				if j < len(cells[i]) {
+					c = cells[i][j]
+				}
+				fmt.Fprintf(&b, "  %*s", colW[j], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // Sparkline renders a series as a one-line unicode sparkline, useful
 // for the per-interval figures (Figs. 6/7).
 func Sparkline(values []float64) string {

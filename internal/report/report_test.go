@@ -117,6 +117,46 @@ func TestGroupedBarsRagged(t *testing.T) {
 	}
 }
 
+func TestMatrix(t *testing.T) {
+	out := Matrix("robustness", []string{"static-equal", "model-based"},
+		[]string{"clean", "moderate", "catastrophic"},
+		[][]float64{{4.1, 4.05, 4.2}, {8.3, 6.78, 4.0}})
+	if !strings.Contains(out, "robustness") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + column header + 2 rows
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows misaligned:\n%s", out)
+	}
+	for _, want := range []string{"moderate", "model-based", "6.78", "4.05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Column labels must line up over their values: "6.78" sits in the
+	// moderate column, right-aligned under the label.
+	head := strings.Index(lines[1], "moderate") + len("moderate")
+	val := strings.Index(lines[3], "6.78") + len("6.78")
+	if head != val {
+		t.Errorf("column ends misaligned (%d vs %d):\n%s", head, val, out)
+	}
+}
+
+func TestMatrixRagged(t *testing.T) {
+	// Short rows and missing rows must render blanks, not panic.
+	out := Matrix("", []string{"a", "b", "c"}, []string{"x", "y"},
+		[][]float64{{1}, {2, 3}})
+	for _, want := range []string{"a", "b", "c", "1.00", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if got := Sparkline(nil); got != "" {
 		t.Errorf("empty sparkline = %q", got)

@@ -231,6 +231,16 @@ type Controller interface {
 	OnInterval(iv IntervalStats, mon Monitors) []int
 }
 
+// HealthReporter is an optional Controller extension: controllers that
+// track their own degradation state (e.g. a fallback chain demoting
+// from model-based to static partitioning under bad telemetry) expose
+// it here, and the simulator records it in Result.ControllerHealth.
+type HealthReporter interface {
+	// ControllerHealth names the controller's current health state
+	// ("" when the controller does not track health).
+	ControllerHealth() string
+}
+
 // PhaseFunc maps (thread, interval) to the thread's working-set and
 // stream scaling for that interval, modelling program phase behaviour.
 type PhaseFunc func(thread, interval int) (wsScale, streamScale float64)
@@ -259,6 +269,9 @@ type Result struct {
 	ThreadStall  []uint64
 	L2Stats      cache.Stats // aggregate L2 counters (summed across private caches if split)
 	FinalTargets []int       // last installed way targets (partitioned org), else nil
+	// ControllerHealth is the controller's final health state, when the
+	// controller implements HealthReporter ("" otherwise).
+	ControllerHealth string
 }
 
 // AppCPI returns the application-level CPI: wall cycles divided by
@@ -709,6 +722,9 @@ func (s *Simulator) result() Result {
 	}
 	if s.curTargets != nil {
 		res.FinalTargets = append([]int(nil), s.curTargets...)
+	}
+	if h, ok := s.ctl.(HealthReporter); ok {
+		res.ControllerHealth = h.ControllerHealth()
 	}
 	return res
 }

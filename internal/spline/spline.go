@@ -19,6 +19,7 @@ package spline
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -62,16 +63,27 @@ func (k Kind) String() string {
 var errTooFew = errors.New("spline: need at least one data point")
 
 // Fit builds an interpolator of the given kind over the points
-// (xs[i], ys[i]). The slices must have equal nonzero length. Duplicate
-// x values are collapsed by averaging their y values; points need not
-// be pre-sorted. With a single distinct point the result is a constant
-// function; with two, all kinds degenerate to linear interpolation.
+// (xs[i], ys[i]). The slices must have equal nonzero length and every
+// coordinate must be finite: a single NaN or Inf would contaminate the
+// whole tridiagonal solve and make Eval return NaN everywhere, so such
+// inputs are rejected up front. Duplicate x values are collapsed by
+// averaging their y values; points need not be pre-sorted. With a
+// single distinct point the result is a constant function; with two,
+// all kinds degenerate to linear interpolation.
 func Fit(kind Kind, xs, ys []float64) (Interpolator, error) {
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("spline: mismatched lengths %d vs %d", len(xs), len(ys))
 	}
 	if len(xs) == 0 {
 		return nil, errTooFew
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+			return nil, fmt.Errorf("spline: non-finite x at index %d: %v", i, xs[i])
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return nil, fmt.Errorf("spline: non-finite y at index %d: %v", i, ys[i])
+		}
 	}
 	x, y := dedupSorted(xs, ys)
 	switch {

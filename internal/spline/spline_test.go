@@ -22,6 +22,53 @@ func TestFitErrors(t *testing.T) {
 	}
 }
 
+func TestFitRejectsNonFinite(t *testing.T) {
+	kinds := []Kind{NaturalCubic, PCHIP, Linear}
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, k := range kinds {
+		for _, v := range bad {
+			if _, err := Fit(k, []float64{1, v, 3}, []float64{1, 2, 3}); err == nil {
+				t.Errorf("%v: non-finite x %v accepted", k, v)
+			}
+			if _, err := Fit(k, []float64{1, 2, 3}, []float64{1, v, 3}); err == nil {
+				t.Errorf("%v: non-finite y %v accepted", k, v)
+			}
+		}
+	}
+}
+
+// Every accepted fit must evaluate to a finite value everywhere —
+// inside the knot range, at the knots, and in the clamped extrapolation
+// region — for every degenerate-but-valid input shape.
+func TestFitNeverReturnsNaN(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"single point", []float64{4}, []float64{2.5}},
+		{"all duplicate x", []float64{4, 4, 4}, []float64{1, 2, 3}},
+		{"two points after dedup", []float64{1, 1, 8}, []float64{3, 5, 2}},
+		{"two distinct points", []float64{1, 8}, []float64{3, 2}},
+		{"identical ys", []float64{1, 2, 3, 4}, []float64{7, 7, 7, 7}},
+		{"tiny x spacing", []float64{1, 1 + 1e-12, 2}, []float64{1, 100, 2}},
+		{"huge values", []float64{1, 2, 3}, []float64{1e300, 2e300, 1.5e300}},
+	}
+	for _, k := range []Kind{NaturalCubic, PCHIP, Linear} {
+		for _, tc := range cases {
+			in, err := Fit(k, tc.xs, tc.ys)
+			if err != nil {
+				continue // rejection is always acceptable
+			}
+			for x := -2.0; x <= 12; x += 0.25 {
+				if y := in.Eval(x); math.IsNaN(y) || math.IsInf(y, 0) {
+					t.Errorf("%v/%s: Eval(%g) = %v", k, tc.name, x, y)
+					break
+				}
+			}
+		}
+	}
+}
+
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		NaturalCubic: "natural-cubic",

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes to the trace decoder: NewReplayer
+// must either return a clear error or a replayer whose Next never
+// panics and keeps making progress. The seed corpus covers the valid
+// header, a well-formed tiny trace, and the corruption classes the
+// matrix test enumerates.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("ITRC"))
+	f.Add([]byte("ITRC\x01"))
+	f.Add(rawTrace(uint64(2), byte(0), zigzag(3), uint64(1), byte(0xFF)))
+	f.Add(rawTrace(uint64(0), byte(1), zigzag(-1), uint64(0), byte(0xFF)))
+	f.Add(rawTrace(uint64(1)<<40, byte(0), zigzag(3), uint64(1), byte(0xFF)))
+	var buf bytes.Buffer
+	if err := Record(&buf, &countingSource{}, 256, 64); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rp, err := NewReplayer(bytes.NewReader(data), 64)
+		if err != nil {
+			if rp != nil {
+				t.Fatalf("error %v alongside non-nil replayer", err)
+			}
+			return
+		}
+		// A successfully decoded trace must replay without panicking and
+		// emit exactly one instruction per call.
+		for i := 0; i < 1000; i++ {
+			rp.Next()
+		}
+		if rp.Replayed() != 1000 {
+			t.Fatalf("Replayed() = %d after 1000 calls", rp.Replayed())
+		}
+	})
+}

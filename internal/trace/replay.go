@@ -38,6 +38,17 @@ const (
 	traceMagic   = "ITRC"
 	traceVersion = 1
 	endFlags     = 0xFF
+
+	// maxGap bounds the non-memory gap one record may claim. A varint
+	// can encode 2^64; a corrupt byte in the stream would otherwise
+	// decode into a "trace" whose replay spins for eons emitting
+	// non-memory instructions. 2^32 instructions between two memory
+	// accesses is far beyond anything a real capture produces.
+	maxGap = uint64(1) << 32
+	// maxLine bounds the decoded line address (2^44 lines = 1 PiB of
+	// 64-byte lines), catching corrupt deltas that walk the address off
+	// to nowhere.
+	maxLine = int64(1) << 44
 )
 
 // Record captures exactly n instructions from src into w. The source
@@ -146,6 +157,10 @@ func NewReplayer(r io.Reader, lineBytes int) (*Replayer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: truncated stream: %w", err)
 		}
+		if gap > maxGap {
+			return nil, fmt.Errorf("trace: corrupt stream: gap %d before record %d exceeds %d",
+				gap, len(rp.records), maxGap)
+		}
 		flags, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("trace: truncated stream: %w", err)
@@ -160,7 +175,12 @@ func NewReplayer(r io.Reader, lineBytes int) (*Replayer, error) {
 		}
 		line += unzigzag(du)
 		if line < 0 {
-			return nil, fmt.Errorf("trace: negative line address")
+			return nil, fmt.Errorf("trace: corrupt stream: negative line address in record %d",
+				len(rp.records))
+		}
+		if line > maxLine {
+			return nil, fmt.Errorf("trace: corrupt stream: line address %d in record %d exceeds %d",
+				line, len(rp.records), maxLine)
 		}
 		rp.records = append(rp.records, replayRecord{
 			gap:   gap,

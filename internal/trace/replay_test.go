@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"intracache/internal/xrand"
@@ -97,6 +99,64 @@ func TestReplayerErrors(t *testing.T) {
 	src := mustThread(t, baseSpec(), 83)
 	if err := Record(&buf, src, 100, 0); err == nil {
 		t.Error("Record with zero line size accepted")
+	}
+}
+
+// rawTrace hand-assembles a trace file from header + varint fields, for
+// corrupting specific positions.
+func rawTrace(fields ...interface{}) []byte {
+	out := []byte("ITRC\x01")
+	var buf [10]byte
+	for _, f := range fields {
+		switch v := f.(type) {
+		case uint64:
+			k := binary.PutUvarint(buf[:], v)
+			out = append(out, buf[:k]...)
+		case byte:
+			out = append(out, v)
+		default:
+			panic("rawTrace: unsupported field")
+		}
+	}
+	return out
+}
+
+func TestReplayerCorruptionMatrix(t *testing.T) {
+	// One valid record (gap 2, read, delta +3) plus trailer (gap 1).
+	valid := rawTrace(uint64(2), byte(0), zigzag(3), uint64(1), byte(0xFF))
+	if _, err := NewReplayer(bytes.NewReader(valid), 64); err != nil {
+		t.Fatalf("reference trace rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty input", nil, "magic"},
+		{"short magic", []byte("IT"), "magic"},
+		{"bad magic", append([]byte("XTRC\x01"), valid[5:]...), "bad magic"},
+		{"missing version", []byte("ITRC"), ""},
+		{"bad version", append([]byte("ITRC\x07"), valid[5:]...), "version"},
+		{"eof after header", []byte("ITRC\x01"), "truncated"},
+		{"eof after gap", rawTrace(uint64(2)), "truncated"},
+		{"eof after flags", rawTrace(uint64(2), byte(0)), "truncated"},
+		{"eof before trailer", rawTrace(uint64(2), byte(0), zigzag(3)), "truncated"},
+		{"absurd record gap", rawTrace(uint64(1)<<40, byte(0), zigzag(3), uint64(1), byte(0xFF)), "gap"},
+		{"absurd trailer gap", rawTrace(uint64(2), byte(0), zigzag(3), uint64(1)<<40, byte(0xFF)), "gap"},
+		{"negative line address", rawTrace(uint64(0), byte(0), zigzag(-5), uint64(0), byte(0xFF)), "negative line"},
+		{"absurd line address", rawTrace(uint64(0), byte(0), zigzag(1<<50), uint64(0), byte(0xFF)), "line address"},
+		{"empty trace", rawTrace(uint64(0), byte(0xFF)), "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReplayer(bytes.NewReader(tc.data), 64)
+			if err == nil {
+				t.Fatalf("corrupt trace accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 

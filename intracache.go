@@ -32,6 +32,7 @@ package intracache
 import (
 	"intracache/internal/core"
 	"intracache/internal/experiment"
+	"intracache/internal/fault"
 	"intracache/internal/sim"
 	"intracache/internal/workload"
 )
@@ -174,6 +175,40 @@ func MeanImprovement(cs []Comparison) float64 { return experiment.MeanImprovemen
 
 // MaxImprovement returns the largest ImprovementPct across comparisons.
 func MaxImprovement(cs []Comparison) float64 { return experiment.MaxImprovement(cs) }
+
+// FaultPlan configures deterministic fault injection on the telemetry
+// path between the simulator and the partitioning runtime: CPI counter
+// noise, dropped sampling intervals, stuck counters, delayed
+// repartition decisions, transient apparent stalls. Set Config.Fault to
+// a non-zero plan to run any simulation under degraded telemetry;
+// ground truth is never perturbed. The zero plan injects nothing.
+type FaultPlan = fault.Plan
+
+// FaultStats counts the faults injected during one run (available as
+// Run.FaultStats when a plan was active).
+type FaultStats = fault.Stats
+
+// FaultLevel is one named fault intensity of a robustness sweep.
+type FaultLevel = experiment.FaultLevel
+
+// RobustnessCell is one (benchmark, policy, fault level) outcome of a
+// robustness sweep.
+type RobustnessCell = experiment.RobustnessCell
+
+// DefaultFaultLevels returns the canonical fault-intensity ladder:
+// clean, moderate, heavy, catastrophic.
+func DefaultFaultLevels() []FaultLevel { return experiment.DefaultFaultLevels() }
+
+// RobustnessSweep measures every (benchmark, policy, fault level) cell
+// against a clean shared-cache baseline on the worker pool. nil
+// arguments select all nine benchmarks, the {static-equal,
+// cpi-proportional, model-based} policy set, and DefaultFaultLevels().
+// Failing cells carry per-cell errors; the returned error is non-nil
+// only when every cell failed.
+func RobustnessSweep(cfg Config, benchmarks []string, policies []Policy,
+	levels []FaultLevel, workers int) ([]RobustnessCell, error) {
+	return experiment.RobustnessSweep(cfg, benchmarks, policies, levels, workers)
+}
 
 // SimulateWithMigration runs a benchmark under a policy and, at the end
 // of interval swapAt, migrates threads i and j between their cores —
