@@ -89,13 +89,14 @@ func main() {
 // figure alongside the text output.
 var svgDir string
 
-// writeSVG stores one figure's SVG document (no-op without -svg).
+// writeSVG stores one figure's SVG document (no-op without -svg). The
+// write is atomic, so an interrupted run never leaves a truncated SVG.
 func writeSVG(name, doc string) {
 	if svgDir == "" {
 		return
 	}
 	path := filepath.Join(svgDir, name+".svg")
-	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+	if err := report.SaveText(path, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", path, err)
 		return
 	}

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"intracache"
 	"intracache/internal/report"
@@ -33,6 +37,9 @@ func main() {
 	showTrace := flag.Bool("trace", true, "print the per-interval trace")
 	asJSON := flag.Bool("json", false, "emit the full result as JSON and exit")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: run state is saved here atomically so the run survives kills")
+	ckptEvery := flag.Int("checkpoint-every", 0, "snapshot every N completed intervals (0 = only when stopping)")
+	resumeRun := flag.Bool("resume", false, "resume from -checkpoint if the file exists (bit-identical to an uninterrupted run)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection random seed")
 	faultCPINoise := flag.Float64("fault-cpi-noise", 0, "multiplicative CPI counter noise, e.g. 0.1 for ±10%")
 	faultAddNoise := flag.Float64("fault-add-noise", 0, "additive counter noise in cycles per instruction")
@@ -93,7 +100,24 @@ func main() {
 		fatal(err)
 	}
 
-	run, err := intracache.Simulate(cfg, *bench, pol, mode)
+	// ctrl-C / SIGTERM stops the run at the next interval boundary; with
+	// -checkpoint set, the stop state is saved there for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	run, err := intracache.SimulateCheckpointed(ctx, cfg, *bench, pol, mode, intracache.CheckpointSpec{
+		Path:   *ckptPath,
+		Every:  *ckptEvery,
+		Resume: *resumeRun,
+	})
+	if errors.Is(err, context.Canceled) {
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "intracache: interrupted after %d intervals; state saved to %s — rerun with -resume to continue\n",
+				len(run.Result.Intervals), *ckptPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "intracache: interrupted (rerun with -checkpoint FILE to make runs resumable)")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

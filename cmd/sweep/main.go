@@ -10,13 +10,24 @@
 //	sweep -kind threads  -bench mgrid       # core-count sweep
 //	sweep -kind robust                      # policies × fault levels
 //	sweep -kind cache -json                 # machine-readable output
+//
+// Long sweeps are crash-safe: with -resume DIR each finished cell is
+// journaled to DIR and a rerun (after a crash, a kill, or ctrl-C) skips
+// the finished cells. -cell-timeout, -stall-timeout and -retries bound
+// and retry individual cells.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"intracache/internal/core"
 	"intracache/internal/experiment"
@@ -32,6 +43,11 @@ func main() {
 	sections := flag.Int("sections", 40, "fixed work per run (parallel sections)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
+	resume := flag.String("resume", "", "journal directory: finished cells are recorded there and skipped on rerun")
+	outPath := flag.String("out", "", "also write the results as JSON to this file (atomic write)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "hard wall-clock deadline per cell attempt (0 = none)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "kill a cell making no interval progress for this long (0 = off)")
+	retries := flag.Int("retries", 1, "total attempts per cell (transient failures are retried with capped exponential backoff)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection random seed")
 	faultCPINoise := flag.Float64("fault-cpi-noise", 0, "multiplicative CPI counter noise, e.g. 0.1 for ±10%")
 	faultAddNoise := flag.Float64("fault-add-noise", 0, "additive counter noise in cycles per instruction")
@@ -65,8 +81,33 @@ func main() {
 		cfg.Fault = &plan
 	}
 
+	// A first ctrl-C / SIGTERM cancels the sweep: no new cells start,
+	// in-flight cells stop at their next interval boundary, and finished
+	// cells are already journaled. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiment.SweepOptions{
+		Workers: *workers,
+		Cell: experiment.CellOptions{
+			Timeout:      *cellTimeout,
+			StallTimeout: *stallTimeout,
+			Retry: experiment.RetryPolicy{
+				Attempts:  *retries,
+				BaseDelay: 100 * time.Millisecond,
+				MaxDelay:  5 * time.Second,
+			},
+		},
+	}
+	if *resume != "" {
+		if err := os.MkdirAll(*resume, 0o755); err != nil {
+			fatal(err)
+		}
+		opts.JournalPath = filepath.Join(*resume, *kind+".journal")
+	}
+
 	if *kind == "robust" {
-		runRobust(cfg, *workers, *asJSON)
+		runRobust(ctx, cfg, opts, *asJSON, *outPath)
 		return
 	}
 
@@ -102,9 +143,15 @@ func main() {
 		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
 	}
 
-	results, err := experiment.Sweep(points, *bench, baseline, candidate, *workers)
+	results, err := experiment.SweepJournaled(ctx, points, *bench, baseline, candidate, opts)
 	if err != nil {
+		reportInterrupted(err, opts.JournalPath)
 		fatal(err)
+	}
+	if *outPath != "" {
+		if err := report.SaveJSON(*outPath, results); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *asJSON {
@@ -123,23 +170,47 @@ func main() {
 			t.AddRow(r.Label, "-", "-", "error: "+r.Err.Error())
 			continue
 		}
-		t.AddRow(r.Label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
+		label := r.Label
+		if r.Resumed {
+			label += " (resumed)"
+		}
+		t.AddRow(label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
 	}
 	fmt.Print(t.String())
+}
+
+// reportInterrupted tells the user how to pick the sweep back up when
+// the error was a cancellation (ctrl-C / SIGTERM) rather than a real
+// failure. Per-cell deadline errors don't count: those cells failed.
+func reportInterrupted(err error, journalPath string) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted; finished cells are journaled in %s — rerun with the same flags to resume\n", journalPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; rerun with -resume DIR to make sweeps restartable")
+	}
 }
 
 // runRobust sweeps policies × fault levels over all nine benchmarks.
 // Any plan built from -fault-* flags is added as a fifth "custom"
 // level on top of the canonical ladder.
-func runRobust(cfg experiment.Config, workers int, asJSON bool) {
+func runRobust(ctx context.Context, cfg experiment.Config, opts experiment.SweepOptions, asJSON bool, outPath string) {
 	levels := experiment.DefaultFaultLevels()
 	if cfg.Fault != nil {
 		levels = append(levels, experiment.FaultLevel{Name: "custom", Plan: *cfg.Fault})
 		cfg.Fault = nil
 	}
-	cells, err := experiment.RobustnessSweep(cfg, nil, nil, levels, workers)
+	cells, err := experiment.RobustnessSweepJournaled(ctx, cfg, nil, nil, levels, opts)
 	if err != nil {
+		reportInterrupted(err, opts.JournalPath)
 		fatal(err)
+	}
+	if outPath != "" {
+		if err := report.SaveJSON(outPath, cells); err != nil {
+			fatal(err)
+		}
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)

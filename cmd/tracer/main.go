@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"intracache/internal/atomicfile"
 	"intracache/internal/core"
 	"intracache/internal/experiment"
 	"intracache/internal/trace"
@@ -65,15 +66,17 @@ func doRecord(cfg experiment.Config, dir, bench string, instr uint64) error {
 		return err
 	}
 	for i, g := range gens {
-		f, err := os.Create(tracePath(dir, i))
+		// Atomic write: a crash mid-record leaves no half-written trace
+		// masquerading as a complete one.
+		f, err := atomicfile.Create(tracePath(dir, i), 0o644)
 		if err != nil {
 			return err
 		}
 		if err := trace.Record(f, g, instr, cfg.LineBytes); err != nil {
-			f.Close()
+			f.Abort()
 			return fmt.Errorf("recording thread %d: %w", i, err)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return err
 		}
 		st, err := os.Stat(tracePath(dir, i))

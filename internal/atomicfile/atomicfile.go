@@ -1,0 +1,89 @@
+// Package atomicfile writes files crash-safely: content goes to a
+// temporary file in the destination directory, is flushed to stable
+// storage, and is then renamed over the destination. A crash at any
+// point leaves either the old file or the new one — never a truncated
+// hybrid. Every artifact this repository persists (checkpoints, journal
+// rotations, figures, reports, recorded traces) goes through here.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := Create(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// File is an in-progress atomic write. Write the content, then either
+// Commit (publish atomically) or Abort (discard). Abort after Commit is
+// a no-op, so `defer f.Abort()` is safe cleanup.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create starts an atomic write targeting path. The temporary file is
+// created in path's directory so the final rename cannot cross
+// filesystems.
+func Create(path string, perm os.FileMode) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("atomicfile: %w", err)
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write implements io.Writer on the temporary file.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit flushes the temporary file to stable storage and renames it
+// over the destination.
+func (f *File) Commit() error {
+	if f.done {
+		return fmt.Errorf("atomicfile: write to %s already finished", f.path)
+	}
+	f.done = true
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}
+
+// Abort discards the write, removing the temporary file. Safe to call
+// after Commit (no-op) and to defer unconditionally.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}

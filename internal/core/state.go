@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"intracache/internal/sim"
+)
+
+// CPIModelState is the serializable form of one thread's CPI model. The
+// blend weight is configuration, not state; it is re-established by the
+// engine that recreates the model.
+type CPIModelState struct {
+	Points map[int]float64
+	Stamps map[int]int
+}
+
+// ModelState captures the model's data points for checkpointing.
+func (m *CPIModel) ModelState() CPIModelState {
+	st := CPIModelState{Points: make(map[int]float64, len(m.points)), Stamps: make(map[int]int, len(m.stamp))}
+	for w, c := range m.points {
+		st.Points[w] = c
+	}
+	for w, s := range m.stamp {
+		st.Stamps[w] = s
+	}
+	return st
+}
+
+// RestoreModelState overlays a snapshot onto the model.
+func (m *CPIModel) RestoreModelState(st CPIModelState) {
+	m.points = make(map[int]float64, len(st.Points))
+	m.stamp = make(map[int]int, len(st.Stamps))
+	for w, c := range st.Points {
+		m.points[w] = c
+	}
+	for w, s := range st.Stamps {
+		m.stamp[w] = s
+	}
+}
+
+// PhaseDetectorState is the serializable form of a PhaseDetector.
+type PhaseDetectorState struct {
+	EWMA []float64
+	Seen []bool
+}
+
+// DetectorState captures the detector's baselines for checkpointing.
+func (d *PhaseDetector) DetectorState() PhaseDetectorState {
+	return PhaseDetectorState{
+		EWMA: append([]float64(nil), d.ewma...),
+		Seen: append([]bool(nil), d.seen...),
+	}
+}
+
+// RestoreDetectorState overlays a snapshot onto the detector.
+func (d *PhaseDetector) RestoreDetectorState(st PhaseDetectorState) {
+	d.ewma = append([]float64(nil), st.EWMA...)
+	d.seen = append([]bool(nil), st.Seen...)
+}
+
+// ModelEngineState is the serializable mutable state of a ModelEngine.
+// Tuning knobs (Kind, Blend, thresholds) are configuration and are not
+// carried: a restored engine keeps whatever knobs it was constructed
+// with, which must match the original for bit-identical resume.
+type ModelEngineState struct {
+	Models   []CPIModelState
+	Interval int
+	Detector *PhaseDetectorState
+}
+
+// EngineState captures the engine's mutable state for checkpointing.
+func (e *ModelEngine) EngineState() ModelEngineState {
+	st := ModelEngineState{Interval: e.interval}
+	for _, m := range e.models {
+		st.Models = append(st.Models, m.ModelState())
+	}
+	if e.detector != nil {
+		d := e.detector.DetectorState()
+		st.Detector = &d
+	}
+	return st
+}
+
+// RestoreEngineState overlays a snapshot onto the engine.
+func (e *ModelEngine) RestoreEngineState(st ModelEngineState) error {
+	if len(st.Models) > 0 {
+		e.ensure(len(st.Models))
+		if len(st.Models) != len(e.models) {
+			return fmt.Errorf("core: restore has %d models, engine has %d", len(st.Models), len(e.models))
+		}
+		for i, ms := range st.Models {
+			e.models[i].RestoreModelState(ms)
+		}
+	}
+	if st.Detector != nil {
+		if e.detector == nil {
+			if !e.PhaseDetect {
+				return fmt.Errorf("core: restore carries a phase detector but PhaseDetect is off")
+			}
+			e.detector = NewPhaseDetector(len(st.Detector.EWMA))
+		}
+		e.detector.RestoreDetectorState(*st.Detector)
+	}
+	e.interval = st.Interval
+	return nil
+}
+
+// ResilientEngineState is the serializable mutable state of a
+// ResilientEngine, including its wrapped ModelEngine's state.
+type ResilientEngineState struct {
+	Model ModelEngineState
+
+	Health       Health
+	Ring         []bool
+	Pos          int
+	Filled       int
+	SinceChange  int
+	LastReported []sim.ThreadIntervalStats
+	HaveReported bool
+	LastGood     []sim.ThreadIntervalStats
+	HaveGood     []bool
+	ResetSplit   bool
+	Demotions    int
+	Promotions   int
+	Rejected     uint64
+}
+
+// EngineState captures the engine's mutable state for checkpointing.
+func (e *ResilientEngine) EngineState() ResilientEngineState {
+	st := ResilientEngineState{
+		Health:       e.health,
+		Pos:          e.pos,
+		Filled:       e.filled,
+		SinceChange:  e.sinceChange,
+		HaveReported: e.haveReported,
+		ResetSplit:   e.resetSplit,
+		Demotions:    e.demotions,
+		Promotions:   e.promotions,
+		Rejected:     e.rejected,
+	}
+	if e.Model != nil {
+		st.Model = e.Model.EngineState()
+	}
+	st.Ring = append([]bool(nil), e.ring...)
+	st.LastReported = append([]sim.ThreadIntervalStats(nil), e.lastReported...)
+	st.LastGood = append([]sim.ThreadIntervalStats(nil), e.lastGood...)
+	st.HaveGood = append([]bool(nil), e.haveGood...)
+	return st
+}
+
+// RestoreEngineState overlays a snapshot onto the engine.
+func (e *ResilientEngine) RestoreEngineState(st ResilientEngineState) error {
+	if st.Ring != nil {
+		e.ensure(len(st.LastReported))
+		if len(st.Ring) != len(e.ring) {
+			return fmt.Errorf("core: restore quality window has %d slots, engine has %d", len(st.Ring), len(e.ring))
+		}
+		copy(e.ring, st.Ring)
+		e.lastReported = append([]sim.ThreadIntervalStats(nil), st.LastReported...)
+		e.lastGood = append([]sim.ThreadIntervalStats(nil), st.LastGood...)
+		e.haveGood = append([]bool(nil), st.HaveGood...)
+	}
+	if e.Model == nil {
+		e.Model = NewModelEngine()
+	}
+	if err := e.Model.RestoreEngineState(st.Model); err != nil {
+		return err
+	}
+	if st.Health < HealthModel || st.Health > HealthStatic {
+		return fmt.Errorf("core: restore health %d out of range", st.Health)
+	}
+	e.health = st.Health
+	e.pos = st.Pos
+	e.filled = st.Filled
+	e.sinceChange = st.SinceChange
+	e.haveReported = st.HaveReported
+	e.resetSplit = st.ResetSplit
+	e.demotions = st.Demotions
+	e.promotions = st.Promotions
+	e.rejected = st.Rejected
+	return nil
+}
+
+// EngineSnapshot is a union over the snapshot types of the stock
+// engines. Exactly one pointer is set for stateful engines; Stateless
+// marks engines (equal, CPI-proportional, UCP) that decide from the
+// current interval alone and need nothing preserved.
+type EngineSnapshot struct {
+	Model     *ModelEngineState
+	Resilient *ResilientEngineState
+	Stateless bool
+}
+
+// CaptureEngine snapshots any stock engine. Custom Engine
+// implementations are rejected: silently resuming them with amnesia
+// would break the bit-identical-resume guarantee.
+func CaptureEngine(e Engine) (EngineSnapshot, error) {
+	switch eng := e.(type) {
+	case nil:
+		return EngineSnapshot{Stateless: true}, nil
+	case *ResilientEngine:
+		st := eng.EngineState()
+		return EngineSnapshot{Resilient: &st}, nil
+	case *ModelEngine:
+		st := eng.EngineState()
+		return EngineSnapshot{Model: &st}, nil
+	case *CPIProportionalEngine, *UCPEngine, EqualEngine:
+		return EngineSnapshot{Stateless: true}, nil
+	default:
+		return EngineSnapshot{}, fmt.Errorf("core: engine %T does not support checkpointing", e)
+	}
+}
+
+// RestoreEngine overlays a snapshot onto an engine produced by the same
+// policy as the capture.
+func RestoreEngine(e Engine, st EngineSnapshot) error {
+	switch {
+	case st.Stateless:
+		switch e.(type) {
+		case nil, *CPIProportionalEngine, *UCPEngine, EqualEngine:
+			return nil
+		default:
+			return fmt.Errorf("core: stateless snapshot cannot restore engine %T", e)
+		}
+	case st.Resilient != nil:
+		eng, ok := e.(*ResilientEngine)
+		if !ok {
+			return fmt.Errorf("core: resilient snapshot cannot restore engine %T", e)
+		}
+		return eng.RestoreEngineState(*st.Resilient)
+	case st.Model != nil:
+		eng, ok := e.(*ModelEngine)
+		if !ok {
+			return fmt.Errorf("core: model snapshot cannot restore engine %T", e)
+		}
+		return eng.RestoreEngineState(*st.Model)
+	default:
+		return fmt.Errorf("core: empty engine snapshot")
+	}
+}
+
+// RuntimeSystemState is the serializable mutable state of a
+// RuntimeSystem: its decision log, validation counter, and the wrapped
+// engine's snapshot.
+type RuntimeSystemState struct {
+	Engine             EngineSnapshot
+	Log                []Decision
+	InvalidAssignments int
+}
+
+// State captures the runtime system's mutable state for checkpointing.
+func (r *RuntimeSystem) State() (RuntimeSystemState, error) {
+	eng, err := CaptureEngine(r.engine)
+	if err != nil {
+		return RuntimeSystemState{}, err
+	}
+	st := RuntimeSystemState{Engine: eng, InvalidAssignments: r.invalidAssignments}
+	for _, d := range r.log {
+		cp := Decision{Interval: d.Interval}
+		cp.CPIs = append([]float64(nil), d.CPIs...)
+		if d.Targets != nil {
+			cp.Targets = append([]int(nil), d.Targets...)
+		}
+		st.Log = append(st.Log, cp)
+	}
+	return st, nil
+}
+
+// Restore overlays a snapshot onto the runtime system.
+func (r *RuntimeSystem) Restore(st RuntimeSystemState) error {
+	if err := RestoreEngine(r.engine, st.Engine); err != nil {
+		return err
+	}
+	r.log = nil
+	for _, d := range st.Log {
+		cp := Decision{Interval: d.Interval}
+		cp.CPIs = append([]float64(nil), d.CPIs...)
+		if d.Targets != nil {
+			cp.Targets = append([]int(nil), d.Targets...)
+		}
+		r.log = append(r.log, cp)
+	}
+	r.invalidAssignments = st.InvalidAssignments
+	return nil
+}

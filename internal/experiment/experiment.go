@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"intracache/internal/cache"
@@ -191,6 +192,14 @@ const (
 
 // RunOne simulates one benchmark under one policy.
 func RunOne(cfg Config, prof workload.Profile, pol core.Policy, mode RunMode) (Run, error) {
+	return RunOneCtx(context.Background(), cfg, prof, pol, mode, nil)
+}
+
+// RunOneCtx is RunOne with cancellation and an optional per-interval
+// progress hook. Cancellation is observed at interval boundaries; the
+// partial Run accumulated so far is returned with ctx's error.
+func RunOneCtx(ctx context.Context, cfg Config, prof workload.Profile, pol core.Policy,
+	mode RunMode, hook sim.IntervalHook) (Run, error) {
 	gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
 	if err != nil {
 		return Run{}, err
@@ -209,13 +218,13 @@ func RunOne(cfg Config, prof workload.Profile, pol core.Policy, mode RunMode) (R
 	}
 	var res sim.Result
 	if mode == BySections {
-		res = s.RunSections(cfg.Sections)
+		res, err = s.RunSectionsContext(ctx, cfg.Sections, hook)
 	} else {
-		res = s.RunIntervals(cfg.Intervals)
+		res, err = s.RunIntervalsContext(ctx, cfg.Intervals, hook)
 	}
 	run := Run{Benchmark: prof.Name, Policy: pol, Result: res, RTS: rts}
 	run.noteFaults(inj)
-	return run, nil
+	return run, err
 }
 
 // RunSources simulates arbitrary instruction sources (e.g. trace
@@ -334,11 +343,18 @@ type Comparison struct {
 // Compare runs one benchmark under both policies for the same fixed
 // work and reports the candidate's improvement.
 func Compare(cfg Config, prof workload.Profile, baseline, candidate core.Policy) (Comparison, error) {
-	base, err := RunOne(cfg, prof, baseline, BySections)
+	return CompareCtx(context.Background(), cfg, prof, baseline, candidate, nil)
+}
+
+// CompareCtx is Compare with cancellation and an optional per-interval
+// progress hook (shared by both runs).
+func CompareCtx(ctx context.Context, cfg Config, prof workload.Profile,
+	baseline, candidate core.Policy, hook sim.IntervalHook) (Comparison, error) {
+	base, err := RunOneCtx(ctx, cfg, prof, baseline, BySections, hook)
 	if err != nil {
 		return Comparison{}, err
 	}
-	cand, err := RunOne(cfg, prof, candidate, BySections)
+	cand, err := RunOneCtx(ctx, cfg, prof, candidate, BySections, hook)
 	if err != nil {
 		return Comparison{}, err
 	}

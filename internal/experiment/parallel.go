@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,7 +47,11 @@ type SweepResult struct {
 	ImprovementPct float64
 	BaselineCycles uint64
 	DynamicCycles  uint64
-	Err            error
+	// Attempts counts how many tries the cell took (0 when the result
+	// was read back from a journal); Resumed marks journal read-back.
+	Attempts int
+	Resumed  bool
+	Err      error
 }
 
 // Sweep runs baseline-vs-candidate on one benchmark across a set of
@@ -55,34 +60,10 @@ type SweepResult struct {
 // populated and the remaining cells still run. The returned error is
 // non-nil only when *every* cell failed (the sweep produced nothing),
 // and the per-cell results are returned alongside it for inspection.
+// It is SweepJournaled without cancellation, journaling or retry.
 func Sweep(points []SweepPoint, benchmark string, baseline, candidate core.Policy, workers int) ([]SweepResult, error) {
-	prof, err := workload.ByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]SweepResult, len(points))
-	errs := forEachIndex(len(points), workers, func(i int) error {
-		out[i] = SweepResult{Label: points[i].Label, Benchmark: benchmark}
-		c, err := Compare(points[i].Cfg, prof, baseline, candidate)
-		if err != nil {
-			return err
-		}
-		out[i].ImprovementPct = c.ImprovementPct
-		out[i].BaselineCycles = c.BaselineCycles
-		out[i].DynamicCycles = c.CandidateCycles
-		return nil
-	})
-	failed := 0
-	for i, err := range errs {
-		if err != nil {
-			out[i].Err = err
-			failed++
-		}
-	}
-	if len(points) > 0 && failed == len(points) {
-		return out, fmt.Errorf("experiment: sweep: all %d cells failed; first: %w", failed, out[0].Err)
-	}
-	return out, nil
+	return SweepJournaled(context.Background(), points, benchmark, baseline, candidate,
+		SweepOptions{Workers: workers})
 }
 
 // forEachIndex applies fn to every index in [0, n) using a bounded
@@ -90,6 +71,15 @@ func Sweep(points []SweepPoint, benchmark string, baseline, candidate core.Polic
 // recovered and surfaced as that index's error instead of crashing the
 // whole sweep.
 func forEachIndex(n, workers int, fn func(i int) error) []error {
+	return forEachIndexCtx(context.Background(), n, workers, fn)
+}
+
+// forEachIndexCtx is forEachIndex with cancellation: once ctx is
+// cancelled no new index is dispatched, in-flight indices finish (their
+// fn observes ctx itself if it wants to stop early), and every
+// undispatched index's error slot is set to ctx.Err(). workers <= 0 is
+// clamped to GOMAXPROCS rather than silently misbehaving.
+func forEachIndexCtx(ctx context.Context, n, workers int, fn func(i int) error) []error {
 	errs := make([]error, n)
 	call := func(i int) {
 		defer func() {
@@ -107,6 +97,12 @@ func forEachIndex(n, workers int, fn func(i int) error) []error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				for j := i; j < n; j++ {
+					errs[j] = err
+				}
+				return errs
+			}
 			call(i)
 		}
 		return errs
@@ -122,10 +118,21 @@ func forEachIndex(n, workers int, fn func(i int) error) []error {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		work <- i
+	next := 0
+dispatch:
+	for ; next < n; next++ {
+		select {
+		case work <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for j := next; j < n; j++ {
+			errs[j] = err
+		}
+	}
 	return errs
 }

@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"intracache/internal/core"
+)
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{Attempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestRunCellRetriesTransientFailure(t *testing.T) {
+	calls := 0
+	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(4)},
+		func(ctx context.Context, progress func()) error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("transient %d", calls)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("runCell: %v", err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3/3", attempts, calls)
+	}
+}
+
+func TestRunCellRecoversPanics(t *testing.T) {
+	calls := 0
+	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(3)},
+		func(ctx context.Context, progress func()) error {
+			calls++
+			if calls == 1 {
+				panic("fault-injected explosion")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("runCell after panic: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts=%d, want 2", attempts)
+	}
+}
+
+func TestRunCellExhaustsAttempts(t *testing.T) {
+	boom := errors.New("deterministic failure")
+	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(3)},
+		func(ctx context.Context, progress func()) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the cell's error", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts=%d, want 3", attempts)
+	}
+}
+
+func TestRunCellNoRetryAfterParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts, err := runCell(ctx, CellOptions{Retry: fastRetry(5)},
+		func(cellCtx context.Context, progress func()) error {
+			cancel()
+			return errors.New("failed while shutting down")
+		})
+	if attempts != 1 {
+		t.Fatalf("attempts=%d, want 1 — retrying would hold shutdown hostage", attempts)
+	}
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestRunCellDeadline(t *testing.T) {
+	attempts, err := runCell(context.Background(),
+		CellOptions{Timeout: 10 * time.Millisecond, Retry: fastRetry(2)},
+		func(cellCtx context.Context, progress func()) error {
+			<-cellCtx.Done()
+			return cellCtx.Err()
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline exceeded", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts=%d, want both attempts to hit the deadline", attempts)
+	}
+}
+
+func TestRunCellStallWatchdog(t *testing.T) {
+	// The cell never reports progress: the watchdog must cancel it and
+	// the error must identify the stall.
+	_, err := runCell(context.Background(),
+		CellOptions{StallTimeout: 10 * time.Millisecond, Retry: fastRetry(1)},
+		func(cellCtx context.Context, progress func()) error {
+			<-cellCtx.Done()
+			return cellCtx.Err()
+		})
+	if !errors.Is(err, ErrCellStalled) {
+		t.Fatalf("err=%v, want ErrCellStalled", err)
+	}
+}
+
+func TestRunCellProgressFeedsWatchdog(t *testing.T) {
+	// Steady progress keeps a slow cell alive well past StallTimeout.
+	start := time.Now()
+	_, err := runCell(context.Background(),
+		CellOptions{StallTimeout: 25 * time.Millisecond, Retry: fastRetry(1)},
+		func(cellCtx context.Context, progress func()) error {
+			for time.Since(start) < 100*time.Millisecond {
+				select {
+				case <-cellCtx.Done():
+					return cellCtx.Err()
+				case <-time.After(5 * time.Millisecond):
+					progress()
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("progressing cell was killed: %v", err)
+	}
+}
+
+func TestForEachIndexCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	errs := forEachIndexCtx(ctx, 8, 2, func(i int) error { ran++; return nil })
+	if ran != 0 {
+		t.Fatalf("%d cells ran after cancellation", ran)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d]=%v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestForEachIndexWorkersClampedToGOMAXPROCS(t *testing.T) {
+	// workers <= 0 must clamp, not deadlock or serialize away: every
+	// index still runs exactly once.
+	for _, workers := range []int{-3, 0, 1, 100} {
+		seen := make([]bool, 17)
+		errs := forEachIndex(len(seen), workers, func(i int) error {
+			seen[i] = true
+			return nil
+		})
+		for i := range seen {
+			if !seen[i] || errs[i] != nil {
+				t.Fatalf("workers=%d: index %d ran=%v err=%v", workers, i, seen[i], errs[i])
+			}
+		}
+	}
+}
+
+func TestSweepJournaledResume(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 4
+	points := []SweepPoint{
+		{Label: "a", Cfg: cfg},
+		{Label: "b", Cfg: func() Config { c := cfg; c.Seed = 7; return c }()},
+	}
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	opts := SweepOptions{Workers: 2, JournalPath: journal}
+
+	first, err := SweepJournaled(context.Background(), points, "cg",
+		core.PolicyShared, core.PolicyStaticEqual, opts)
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	for _, r := range first {
+		if r.Resumed {
+			t.Fatalf("cell %q resumed on the first pass", r.Label)
+		}
+	}
+
+	second, err := SweepJournaled(context.Background(), points, "cg",
+		core.PolicyShared, core.PolicyStaticEqual, opts)
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	for i, r := range second {
+		if !r.Resumed {
+			t.Errorf("cell %q not served from the journal", r.Label)
+		}
+		if r.BaselineCycles != first[i].BaselineCycles ||
+			r.DynamicCycles != first[i].DynamicCycles ||
+			r.ImprovementPct != first[i].ImprovementPct {
+			t.Errorf("cell %q: journal round trip changed the result", r.Label)
+		}
+	}
+}
+
+func TestSweepJournaledRejectsForeignJournal(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 4
+	points := []SweepPoint{{Label: "a", Cfg: cfg}}
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	opts := SweepOptions{JournalPath: journal}
+	if _, err := SweepJournaled(context.Background(), points, "cg",
+		core.PolicyShared, core.PolicyStaticEqual, opts); err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	// Same journal, different sweep identity: must refuse, not skip
+	// cells that were computed under different parameters.
+	other := points
+	other[0].Cfg.Seed = 99
+	if _, err := SweepJournaled(context.Background(), other, "cg",
+		core.PolicyShared, core.PolicyStaticEqual, opts); err == nil {
+		t.Fatal("sweep accepted a journal with a different fingerprint")
+	}
+}
+
+func TestSweepJournaledCancelled(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 4
+	var points []SweepPoint
+	for i := 0; i < 6; i++ {
+		c := cfg
+		c.Seed = uint64(i + 1)
+		points = append(points, SweepPoint{Label: fmt.Sprintf("p%d", i), Cfg: c})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := SweepJournaled(ctx, points, "cg",
+		core.PolicyShared, core.PolicyStaticEqual, SweepOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if len(out) != len(points) {
+		t.Fatalf("got %d results, want a slot per point", len(out))
+	}
+}
+
+func TestRobustnessSweepJournaledResume(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sections = 4
+	benchmarks := []string{"cg"}
+	policies := []core.Policy{core.PolicyStaticEqual, core.PolicyModelBased}
+	levels := DefaultFaultLevels()[:2] // clean + moderate
+	journal := filepath.Join(t.TempDir(), "robust.journal")
+	opts := SweepOptions{Workers: 2, JournalPath: journal}
+
+	first, err := RobustnessSweepJournaled(context.Background(), cfg, benchmarks, policies, levels, opts)
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	second, err := RobustnessSweepJournaled(context.Background(), cfg, benchmarks, policies, levels, opts)
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cell counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range second {
+		if second[i].Err != nil {
+			t.Fatalf("cell %d errored: %v", i, second[i].Err)
+		}
+		if !second[i].Resumed {
+			t.Errorf("cell %s/%s/%s not served from the journal",
+				second[i].Benchmark, second[i].Policy, second[i].Level)
+		}
+		if second[i].WallCycles != first[i].WallCycles ||
+			second[i].ImprovementPct != first[i].ImprovementPct ||
+			second[i].Health != first[i].Health {
+			t.Errorf("cell %d: journal round trip changed the result", i)
+		}
+	}
+}
+
+func TestConfigFingerprintDistinguishesRuns(t *testing.T) {
+	a := QuickConfig()
+	b := a
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs produced different fingerprints")
+	}
+	b.Seed++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("seed change did not change the fingerprint")
+	}
+	c := a
+	c.Fault = &DefaultFaultLevels()[1].Plan
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fault plan did not change the fingerprint")
+	}
+}

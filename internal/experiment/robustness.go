@@ -1,12 +1,10 @@
 package experiment
 
 import (
-	"fmt"
+	"context"
 
 	"intracache/internal/core"
 	"intracache/internal/fault"
-	"intracache/internal/stats"
-	"intracache/internal/workload"
 )
 
 // This file is the robustness harness: it sweeps policies × benchmarks
@@ -57,7 +55,11 @@ type RobustnessCell struct {
 	Health string
 	// Faults counts the injected faults (zero value at the clean level).
 	Faults fault.Stats
-	Err    error
+	// Attempts counts how many tries the cell took (0 when the result
+	// was read back from a journal); Resumed marks journal read-back.
+	Attempts int
+	Resumed  bool
+	Err      error
 }
 
 // RobustnessSweep runs every (benchmark, policy, level) cell on the
@@ -67,82 +69,12 @@ type RobustnessCell struct {
 // levels means DefaultFaultLevels(). Like Sweep, failing cells carry
 // per-cell errors and the returned error is non-nil only when every
 // cell failed.
+// It is RobustnessSweepJournaled without cancellation, journaling or
+// retry.
 func RobustnessSweep(cfg Config, benchmarks []string, policies []core.Policy,
 	levels []FaultLevel, workers int) ([]RobustnessCell, error) {
-	if benchmarks == nil {
-		benchmarks = workload.Names()
-	}
-	if policies == nil {
-		policies = []core.Policy{core.PolicyStaticEqual, core.PolicyCPIProportional, core.PolicyModelBased}
-	}
-	if levels == nil {
-		levels = DefaultFaultLevels()
-	}
-	if len(benchmarks) == 0 || len(policies) == 0 || len(levels) == 0 {
-		return nil, fmt.Errorf("experiment: empty robustness sweep")
-	}
-
-	// Stage 1: clean shared baselines, one per benchmark.
-	baseCycles := make([]uint64, len(benchmarks))
-	baseErrs := forEachIndex(len(benchmarks), workers, func(i int) error {
-		c := cfg
-		c.Fault = nil
-		run, err := RunOneByName(c, benchmarks[i], core.PolicyShared, BySections)
-		if err != nil {
-			return err
-		}
-		baseCycles[i] = run.Result.WallCycles
-		return nil
-	})
-
-	// Stage 2: the cells.
-	cells := make([]RobustnessCell, len(benchmarks)*len(policies)*len(levels))
-	errs := forEachIndex(len(cells), workers, func(i int) error {
-		b := i / (len(policies) * len(levels))
-		rest := i % (len(policies) * len(levels))
-		p := rest / len(levels)
-		l := rest % len(levels)
-		cells[i] = RobustnessCell{
-			Benchmark: benchmarks[b],
-			Policy:    policies[p],
-			Level:     levels[l].Name,
-		}
-		if baseErrs[b] != nil {
-			return fmt.Errorf("experiment: baseline %s: %w", benchmarks[b], baseErrs[b])
-		}
-		c := cfg
-		if levels[l].Plan.IsZero() {
-			c.Fault = nil
-		} else {
-			plan := levels[l].Plan
-			c.Fault = &plan
-		}
-		run, err := RunOneByName(c, benchmarks[b], policies[p], BySections)
-		if err != nil {
-			return err
-		}
-		cells[i].WallCycles = run.Result.WallCycles
-		cells[i].SharedCycles = baseCycles[b]
-		cells[i].ImprovementPct = 100 * stats.Improvement(
-			float64(baseCycles[b]), float64(run.Result.WallCycles))
-		cells[i].Health = run.Result.ControllerHealth
-		if run.FaultStats != nil {
-			cells[i].Faults = *run.FaultStats
-		}
-		return nil
-	})
-	failed := 0
-	for i, err := range errs {
-		if err != nil {
-			cells[i].Err = err
-			failed++
-		}
-	}
-	if failed == len(cells) {
-		return cells, fmt.Errorf("experiment: robustness sweep: all %d cells failed; first: %w",
-			failed, cells[0].Err)
-	}
-	return cells, nil
+	return RobustnessSweepJournaled(context.Background(), cfg, benchmarks, policies, levels,
+		SweepOptions{Workers: workers})
 }
 
 // RobustnessMatrix summarises a sweep as mean improvement over the

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"fmt"
+
+	"intracache/internal/sim"
+)
+
+// State is a full snapshot of an injector's mutable state. The inner
+// controller is checkpointed separately by whoever owns it.
+type State struct {
+	Plan     Plan
+	Rng      [4]uint64
+	Prev     []sim.ThreadIntervalStats
+	HavePrev bool
+	Queue    [][]int
+	Stats    Stats
+}
+
+// State captures the injector's RNG, sample memory, delayed-decision
+// queue, and counters for checkpointing.
+func (in *Injector) State() State {
+	st := State{
+		Plan:     in.plan,
+		Rng:      in.rng.State(),
+		HavePrev: in.havePrev,
+		Stats:    in.stats,
+	}
+	if in.prev != nil {
+		st.Prev = append([]sim.ThreadIntervalStats(nil), in.prev...)
+	}
+	for _, q := range in.queue {
+		if q == nil {
+			st.Queue = append(st.Queue, nil)
+		} else {
+			st.Queue = append(st.Queue, append([]int(nil), q...))
+		}
+	}
+	return st
+}
+
+// Restore overlays a snapshot onto the injector. The injector must have
+// been constructed with the same plan the snapshot was captured under.
+func (in *Injector) Restore(st State) error {
+	if st.Plan != in.plan {
+		return fmt.Errorf("fault: restore plan %+v does not match %+v", st.Plan, in.plan)
+	}
+	if err := in.rng.Restore(st.Rng); err != nil {
+		return err
+	}
+	in.prev = nil
+	if st.Prev != nil {
+		in.prev = append([]sim.ThreadIntervalStats(nil), st.Prev...)
+	}
+	in.havePrev = st.HavePrev
+	in.queue = nil
+	for _, q := range st.Queue {
+		if q == nil {
+			in.queue = append(in.queue, nil)
+		} else {
+			in.queue = append(in.queue, append([]int(nil), q...))
+		}
+	}
+	in.stats = st.Stats
+	return nil
+}

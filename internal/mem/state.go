@@ -1,0 +1,43 @@
+package mem
+
+import "fmt"
+
+// BankState is the serializable form of one bank's open-row state.
+type BankState struct {
+	OpenRow   uint64
+	RowValid  bool
+	BusyUntil uint64
+}
+
+// State is a full snapshot of a model's mutable contents.
+type State struct {
+	Cfg   Config
+	Banks []BankState
+	Stats Stats
+}
+
+// State captures the model's bank state and counters for checkpointing.
+func (m *Model) State() State {
+	st := State{Cfg: m.cfg, Banks: make([]BankState, len(m.banks)), Stats: m.stats}
+	for i, b := range m.banks {
+		st.Banks[i] = BankState{OpenRow: b.openRow, RowValid: b.rowValid, BusyUntil: b.busyUntil}
+	}
+	return st
+}
+
+// Restore overlays a snapshot onto the model. The model must have been
+// constructed with the same configuration the snapshot was captured
+// under.
+func (m *Model) Restore(st State) error {
+	if st.Cfg != m.cfg {
+		return fmt.Errorf("mem: restore config %+v does not match %+v", st.Cfg, m.cfg)
+	}
+	if len(st.Banks) != len(m.banks) {
+		return fmt.Errorf("mem: restore has %d banks, want %d", len(st.Banks), len(m.banks))
+	}
+	for i, b := range st.Banks {
+		m.banks[i] = bank{openRow: b.OpenRow, rowValid: b.RowValid, busyUntil: b.BusyUntil}
+	}
+	m.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,24 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"intracache/internal/atomicfile"
+)
+
+// SaveText writes a rendered report to path atomically: a crash or
+// kill mid-write leaves either the previous file or the new one, never
+// a truncated report.
+func SaveText(path, s string) error {
+	return atomicfile.WriteFile(path, []byte(s), 0o644)
+}
+
+// SaveJSON writes v as indented JSON to path atomically.
+func SaveJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: encoding %s: %w", path, err)
+	}
+	return atomicfile.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"intracache/internal/cache"
@@ -681,12 +682,8 @@ func (s *Simulator) SwapThreads(i, j int) error {
 // RunSections executes n barrier-delimited parallel sections to
 // completion and returns the run summary.
 func (s *Simulator) RunSections(n int) Result {
-	for done := 0; done < n; done++ {
-		for s.step() {
-		}
-		s.releaseBarrier()
-	}
-	return s.result()
+	res, _ := s.RunSectionsContext(context.Background(), n, nil)
+	return res
 }
 
 // RunIntervals executes until n execution intervals have completed
@@ -694,12 +691,8 @@ func (s *Simulator) RunSections(n int) Result {
 // Intervals and sections are independent clocks, as in the paper: an
 // interval can span multiple sections and vice versa.
 func (s *Simulator) RunIntervals(n int) Result {
-	for s.intervalIdx < n {
-		if !s.step() {
-			s.releaseBarrier()
-		}
-	}
-	return s.result()
+	res, _ := s.RunIntervalsContext(context.Background(), n, nil)
+	return res
 }
 
 func (s *Simulator) result() Result {

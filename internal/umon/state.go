@@ -1,0 +1,56 @@
+package umon
+
+import "fmt"
+
+// ShadowSetState is the serializable form of one shadow tag set.
+type ShadowSetState struct {
+	Tags []uint64
+	N    int
+}
+
+// State is a full snapshot of a monitor's mutable contents.
+type State struct {
+	Cfg    Config
+	Shadow []ShadowSetState
+	Hist   []uint64
+}
+
+// State captures the monitor's shadow directories and histograms for
+// checkpointing.
+func (m *Monitor) State() State {
+	st := State{
+		Cfg:    m.cfg,
+		Shadow: make([]ShadowSetState, len(m.shadow)),
+		Hist:   append([]uint64(nil), m.hist...),
+	}
+	for i, ss := range m.shadow {
+		st.Shadow[i] = ShadowSetState{Tags: append([]uint64(nil), ss.tags...), N: ss.n}
+	}
+	return st
+}
+
+// Restore overlays a snapshot onto the monitor. The monitor must have
+// been constructed with the same configuration the snapshot was
+// captured under.
+func (m *Monitor) Restore(st State) error {
+	switch {
+	case st.Cfg != m.cfg:
+		return fmt.Errorf("umon: restore config %+v does not match %+v", st.Cfg, m.cfg)
+	case len(st.Shadow) != len(m.shadow):
+		return fmt.Errorf("umon: restore has %d shadow sets, want %d", len(st.Shadow), len(m.shadow))
+	case len(st.Hist) != len(m.hist):
+		return fmt.Errorf("umon: restore has %d histogram buckets, want %d", len(st.Hist), len(m.hist))
+	}
+	for i, ss := range st.Shadow {
+		if len(ss.Tags) != m.cfg.Ways {
+			return fmt.Errorf("umon: restore shadow set %d has %d tags, want %d", i, len(ss.Tags), m.cfg.Ways)
+		}
+		if ss.N < 0 || ss.N > m.cfg.Ways {
+			return fmt.Errorf("umon: restore shadow set %d has %d valid entries, want [0,%d]", i, ss.N, m.cfg.Ways)
+		}
+		copy(m.shadow[i].tags, ss.Tags)
+		m.shadow[i].n = ss.N
+	}
+	copy(m.hist, st.Hist)
+	return nil
+}

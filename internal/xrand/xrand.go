@@ -10,7 +10,10 @@
 // Bernoulli draws, bounded Zipf).
 package xrand
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is used only to expand user seeds into full generator state.
@@ -49,6 +52,20 @@ func New(seed uint64) *Rand {
 // always the same. Use it to give each simulated thread its own stream.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// State returns the generator's full internal state, for checkpointing.
+// Restoring it with Restore reproduces the stream bit-exactly.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// Restore replaces the generator's state with one captured by State.
+// An all-zero state is degenerate for xoshiro and is rejected.
+func (r *Rand) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("xrand: cannot restore all-zero state")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -30,6 +30,8 @@
 package intracache
 
 import (
+	"context"
+
 	"intracache/internal/core"
 	"intracache/internal/experiment"
 	"intracache/internal/fault"
@@ -135,6 +137,22 @@ func ProfileByName(name string) (Profile, error) { return workload.ByName(name) 
 // Simulate runs one built-in benchmark under one policy.
 func Simulate(cfg Config, benchmark string, pol Policy, mode RunMode) (Run, error) {
 	return experiment.RunOneByName(cfg, benchmark, pol, mode)
+}
+
+// CheckpointSpec configures crash-safe snapshotting of a simulation:
+// where the checkpoint file lives, how often to snapshot, and whether
+// to resume from an existing file.
+type CheckpointSpec = experiment.CheckpointSpec
+
+// SimulateCheckpointed is Simulate made crash-safe. The run observes
+// ctx at execution-interval boundaries, snapshots its complete state to
+// spec.Path (atomically) every spec.Every intervals and when stopping,
+// and — with spec.Resume — continues a previous run from its last
+// snapshot. A run killed at any interval boundary and resumed this way
+// produces a bit-identical Result to an uninterrupted run.
+func SimulateCheckpointed(ctx context.Context, cfg Config, benchmark string, pol Policy,
+	mode RunMode, spec CheckpointSpec) (Run, error) {
+	return experiment.CheckpointedRun(ctx, cfg, benchmark, pol, mode, spec, nil)
 }
 
 // SimulateProfile runs a custom workload profile under one policy.
