@@ -1,0 +1,198 @@
+// Command benchdiff is the CI performance-regression gate. It parses
+// `go test -bench` output and either records it as a baseline
+// (-update) or compares it against a committed baseline and fails when
+// the geometric-mean slowdown exceeds a threshold.
+//
+// The gate compares whole benchmark runs on the same machine class, so
+// single-benchmark noise is damped two ways: the verdict is the
+// geomean across every benchmark present in both runs, and individual
+// ratios are reported so a real regression is attributable.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFig' -benchtime 1x . | benchdiff -update
+//	go test -run '^$' -bench 'BenchmarkFig' -benchtime 1x . | benchdiff -threshold 0.10
+//	benchdiff -input bench.out -baseline BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against or update")
+	inputPath := flag.String("input", "-", "benchmark output to read (\"-\" = stdin)")
+	threshold := flag.Float64("threshold", 0.10, "fail when the geomean slowdown exceeds this fraction")
+	update := flag.Bool("update", false, "write the parsed results as the new baseline instead of comparing")
+	flag.Parse()
+
+	in := os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := compare(base.Results, results, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+	if rep.Failed {
+		os.Exit(1)
+	}
+}
+
+// benchResult is one benchmark's recorded cost.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the committed BENCH_baseline.json shape. GoVersion and
+// Host document where the numbers came from; only Results is compared.
+type baseline struct {
+	GoVersion string                 `json:"go_version"`
+	Host      string                 `json:"host"`
+	Results   map[string]benchResult `json:"results"`
+}
+
+func writeBaseline(path string, results map[string]benchResult) error {
+	b := baseline{
+		GoVersion: runtime.Version(),
+		Host:      runtime.GOOS + "/" + runtime.GOARCH,
+		Results:   results,
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Results) == 0 {
+		return b, fmt.Errorf("%s: baseline holds no results", path)
+	}
+	return b, nil
+}
+
+// report is the outcome of one baseline comparison.
+type report struct {
+	Rows      []row
+	OnlyBase  []string // benchmarks in the baseline but not this run
+	OnlyCur   []string // benchmarks in this run but not the baseline
+	Geomean   float64  // geomean of current/baseline time ratios
+	Threshold float64
+	Failed    bool
+}
+
+type row struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	Ratio      float64
+	AllocDelta float64
+}
+
+func compare(base, cur map[string]benchResult, threshold float64) (*report, error) {
+	rep := &report{Threshold: threshold}
+	logSum := 0.0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			rep.OnlyBase = append(rep.OnlyBase, name)
+			continue
+		}
+		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: non-positive ns/op (base %g, current %g)", name, b.NsPerOp, c.NsPerOp)
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		logSum += math.Log(ratio)
+		rep.Rows = append(rep.Rows, row{
+			Name:       name,
+			BaseNs:     b.NsPerOp,
+			CurNs:      c.NsPerOp,
+			Ratio:      ratio,
+			AllocDelta: c.AllocsPerOp - b.AllocsPerOp,
+		})
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.OnlyCur = append(rep.OnlyCur, name)
+		}
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("no benchmarks in common between baseline and current run")
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Name < rep.Rows[j].Name })
+	sort.Strings(rep.OnlyBase)
+	sort.Strings(rep.OnlyCur)
+	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
+	rep.Failed = rep.Geomean > 1+threshold
+	return rep, nil
+}
+
+func (r *report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "Δallocs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %7.3fx %8.0f\n",
+			row.Name, row.BaseNs, row.CurNs, row.Ratio, row.AllocDelta)
+	}
+	for _, n := range r.OnlyBase {
+		fmt.Fprintf(&sb, "warning: %s is in the baseline but was not run\n", n)
+	}
+	for _, n := range r.OnlyCur {
+		fmt.Fprintf(&sb, "note: %s has no baseline entry (add with -update)\n", n)
+	}
+	verdict := "PASS"
+	if r.Failed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "geomean ratio %.3fx over %d benchmarks (threshold %.3fx): %s\n",
+		r.Geomean, len(r.Rows), 1+r.Threshold, verdict)
+	return sb.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: intracache
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig19VsPrivate-4   	       1	2694531000 ns/op	        54.72 missRed%	   128 B/op	       3 allocs/op
+BenchmarkFig20VsShared-4    	       1	2326118000 ns/op	        19.50 missRed%	    64 B/op	       2 allocs/op
+BenchmarkFig02Config        	 5000000	       231.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	intracache	5.1s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]benchResult{
+		"BenchmarkFig19VsPrivate": {NsPerOp: 2694531000, AllocsPerOp: 3},
+		"BenchmarkFig20VsShared":  {NsPerOp: 2326118000, AllocsPerOp: 2},
+		"BenchmarkFig02Config":    {NsPerOp: 231.5, AllocsPerOp: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestParseBenchKeepsFastestDuplicate(t *testing.T) {
+	in := "BenchmarkX-4 1 200 ns/op\nBenchmarkX-4 1 100 ns/op\nBenchmarkX-4 1 150 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 100 {
+		t.Errorf("kept %v ns/op, want fastest (100)", got["BenchmarkX"].NsPerOp)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the gate's own regression test: a
+// uniform 2x slowdown must trip a 10% threshold, and the unchanged run
+// must pass it.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 2000},
+		"BenchmarkC": {NsPerOp: 500},
+	}
+	slow := make(map[string]benchResult, len(base))
+	for k, v := range base {
+		slow[k] = benchResult{NsPerOp: 2 * v.NsPerOp}
+	}
+	rep, err := compare(base, slow, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Errorf("2x slowdown passed the 10%% gate (geomean %.3f)", rep.Geomean)
+	}
+	if math.Abs(rep.Geomean-2) > 1e-9 {
+		t.Errorf("geomean = %v, want 2", rep.Geomean)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Errorf("report does not say FAIL:\n%s", rep.String())
+	}
+
+	rep, err = compare(base, base, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || rep.Geomean != 1 {
+		t.Errorf("identical run failed the gate: geomean %v failed=%v", rep.Geomean, rep.Failed)
+	}
+}
+
+// TestGateToleratesNoiseBelowThreshold: one benchmark 15% slower and
+// one 10% faster nets out under a 10% geomean threshold, so ordinary
+// single-benchmark jitter does not flap the gate.
+func TestGateToleratesNoiseBelowThreshold(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+	}
+	cur := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1150},
+		"BenchmarkB": {NsPerOp: 900},
+	}
+	rep, err := compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Errorf("mixed ±jitter tripped the gate: geomean %.3f", rep.Geomean)
+	}
+}
+
+func TestCompareReportsMissingBenchmarks(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 1}, "BenchmarkGone": {NsPerOp: 1}}
+	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 1}, "BenchmarkNew": {NsPerOp: 1}}
+	rep, err := compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OnlyBase) != 1 || rep.OnlyBase[0] != "BenchmarkGone" {
+		t.Errorf("OnlyBase = %v", rep.OnlyBase)
+	}
+	if len(rep.OnlyCur) != 1 || rep.OnlyCur[0] != "BenchmarkNew" {
+		t.Errorf("OnlyCur = %v", rep.OnlyCur)
+	}
+	if _, err := compare(base, map[string]benchResult{"BenchmarkZ": {NsPerOp: 1}}, 0.1); err == nil {
+		t.Error("disjoint benchmark sets did not error")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBaseline(path, results); err != nil {
+		t.Fatal(err)
+	}
+	b, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Results) != len(results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(b.Results), len(results))
+	}
+	for k, v := range results {
+		if b.Results[k] != v {
+			t.Errorf("%s = %+v, want %+v", k, b.Results[k], v)
+		}
+	}
+}

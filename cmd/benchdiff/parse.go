@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// A result line looks like
+//
+//	BenchmarkFig19VsPrivate-4   1   2694531000 ns/op   54.72 missRed%   128 B/op   3 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. The -N
+// GOMAXPROCS suffix is stripped so baselines stay comparable across
+// machines, and custom b.ReportMetric units are ignored. Duplicate
+// names (e.g. -count > 1) keep the fastest run, the usual benchstat
+// convention for reducing noise.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res benchResult
+		sawNs := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q: %w", name, f[i], err)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !sawNs {
+			continue // e.g. a -benchtime=1x line cut short; nothing to gate on
+		}
+		if prev, ok := out[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"intracache"
+	"intracache/internal/profiling"
 	"intracache/internal/report"
 )
 
@@ -47,7 +48,11 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	stopProfile := profiling.MustStartCPU(*pprofPath)
+	defer stopProfile()
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(intracache.Benchmarks(), ", "))
@@ -116,6 +121,7 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "intracache: interrupted (rerun with -checkpoint FILE to make runs resumable)")
 		}
+		stopProfile()
 		os.Exit(130)
 	}
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"intracache/internal/core"
 	"intracache/internal/experiment"
 	"intracache/internal/fault"
+	"intracache/internal/profiling"
 	"intracache/internal/report"
 )
 
@@ -55,7 +56,11 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
+
+	stopProfile := profiling.MustStartCPU(*pprofPath)
+	defer stopProfile()
 
 	baseline, err := core.ParsePolicy(*baseName)
 	if err != nil {

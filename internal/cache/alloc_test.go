@@ -1,0 +1,41 @@
+package cache
+
+// Zero-allocation guards for Access, the hottest function in the
+// simulator. Both probe regimes are pinned: the narrow scan paths and
+// the wide configurations that use the hash index and recency lists.
+
+import (
+	"testing"
+
+	"intracache/internal/xrand"
+)
+
+func TestAccessZeroAlloc(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4},
+		{SizeBytes: 1 << 16, Ways: 64, LineBytes: 64, NumThreads: 4},
+	}
+	for _, cfg := range configs {
+		for _, mode := range []Mode{SharedLRU, Partitioned, PartitionedMask, SharedTADIP} {
+			c, err := New(cfg, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := xrand.New(42)
+			addrs := make([]uint64, 4096)
+			for i := range addrs {
+				addrs[i] = uint64(r.Intn(1<<13)) * 64
+			}
+			for i, a := range addrs { // fill past cold misses
+				c.Access(i&3, a, i%7 == 0)
+			}
+			i := 0
+			if n := testing.AllocsPerRun(10_000, func() {
+				c.Access(i&3, addrs[i&4095], i%7 == 0)
+				i++
+			}); n != 0 {
+				t.Errorf("%d-way %v: %v allocs per Access, want 0", cfg.Ways, mode, n)
+			}
+		}
+	}
+}

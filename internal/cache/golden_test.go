@@ -7,6 +7,7 @@ package cache
 // implementation shows up as a divergence.
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -109,61 +110,165 @@ func (r *refCache) pickVictim(set []refLine, thread int) int {
 
 func (r *refCache) setTargets(t []int) { copy(r.targets, t) }
 
+// goldenConfigs covers both probe regimes: the narrow scan paths and
+// the wide configurations that additionally use the resident-line hash
+// index and per-set recency lists (Ways >= idxMinWays).
+var goldenConfigs = []Config{
+	{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4},
+	{SizeBytes: 1 << 16, Ways: 64, LineBytes: 64, NumThreads: 4},
+}
+
 // TestGoldenSharedLRU drives random traffic through both
 // implementations in shared mode and demands identical hit/miss
 // outcomes on every access.
 func TestGoldenSharedLRU(t *testing.T) {
-	cfg := Config{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4}
-	c, err := New(cfg, SharedLRU)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref := newRef(cfg, SharedLRU)
-	r := xrand.New(1234)
-	for i := 0; i < 50_000; i++ {
-		thread := r.Intn(4)
-		addr := uint64(r.Intn(1<<13)) * 64
-		got := c.Access(thread, addr, false).Hit
-		want := ref.access(thread, addr)
-		if got != want {
-			t.Fatalf("access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
-				i, thread, addr, got, want)
+	for _, cfg := range goldenConfigs {
+		c, err := New(cfg, SharedLRU)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if err := c.checkInvariants(); err != nil {
-		t.Error(err)
+		ref := newRef(cfg, SharedLRU)
+		r := xrand.New(1234)
+		for i := 0; i < 50_000; i++ {
+			thread := r.Intn(4)
+			addr := uint64(r.Intn(1<<13)) * 64
+			got := c.Access(thread, addr, false).Hit
+			want := ref.access(thread, addr)
+			if got != want {
+				t.Fatalf("%d-way access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
+					cfg.Ways, i, thread, addr, got, want)
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Error(err)
+		}
 	}
 }
 
 // TestGoldenPartitioned does the same in partitioned mode, including a
 // mid-stream retarget.
 func TestGoldenPartitioned(t *testing.T) {
-	cfg := Config{SizeBytes: 4096, Ways: 8, LineBytes: 64, NumThreads: 4}
-	c, err := New(cfg, Partitioned)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref := newRef(cfg, Partitioned)
-	r := xrand.New(99)
-	targets := [][]int{{2, 2, 2, 2}, {5, 1, 1, 1}, {1, 3, 3, 1}}
-	for phase, tg := range targets {
-		if err := c.SetTargets(tg); err != nil {
+	for _, cfg := range goldenConfigs {
+		c, err := New(cfg, Partitioned)
+		if err != nil {
 			t.Fatal(err)
 		}
-		ref.setTargets(tg)
-		for i := 0; i < 20_000; i++ {
-			thread := r.Intn(4)
-			addr := uint64(r.Intn(1<<12)) * 64
-			got := c.Access(thread, addr, false).Hit
-			want := ref.access(thread, addr)
-			if got != want {
-				t.Fatalf("phase %d access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
-					phase, i, thread, addr, got, want)
+		ref := newRef(cfg, Partitioned)
+		r := xrand.New(99)
+		w := cfg.Ways
+		targets := [][]int{
+			{w / 4, w / 4, w / 4, w - 3*(w/4)},
+			{w - 3, 1, 1, 1},
+			{1, w/2 - 1, w/2 - 1, 1},
+		}
+		for phase, tg := range targets {
+			if err := c.SetTargets(tg); err != nil {
+				t.Fatal(err)
+			}
+			ref.setTargets(tg)
+			for i := 0; i < 20_000; i++ {
+				thread := r.Intn(4)
+				addr := uint64(r.Intn(1<<12)) * 64
+				got := c.Access(thread, addr, false).Hit
+				want := ref.access(thread, addr)
+				if got != want {
+					t.Fatalf("%d-way phase %d access %d (thread %d, addr %#x): impl hit=%v, golden hit=%v",
+						cfg.Ways, phase, i, thread, addr, got, want)
+				}
 			}
 		}
+		if err := c.checkInvariants(); err != nil {
+			t.Error(err)
+		}
 	}
-	if err := c.checkInvariants(); err != nil {
-		t.Error(err)
+}
+
+// TestAcceleratedPathEquivalence pins the wide-cache lookup
+// accelerators (hash index + recency lists) to the plain scan paths
+// they replace: identical random traffic — accesses, writes,
+// invalidations, retargets, and a snapshot/restore round trip — must
+// produce identical AccessResults and byte-identical State in every
+// mode, including the TADIP insertion machinery the golden model does
+// not cover.
+func TestAcceleratedPathEquivalence(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 16, Ways: 64, LineBytes: 64, NumThreads: 4}
+	for _, mode := range []Mode{SharedLRU, Partitioned, PartitionedMask, SharedTADIP} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fast, err := New(cfg, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := New(cfg, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Force the control cache onto the scan paths. idxSlot is
+			// nil'd (not just idxOK) so Flush/Restore rebuilds cannot
+			// re-enable the index.
+			slow.idxSlot = nil
+			slow.idxOK = false
+			slow.lruOn = false
+
+			r := xrand.New(7 + uint64(mode))
+			randAddr := func() uint64 { return uint64(r.Intn(1<<13)) * 64 }
+			for i := 0; i < 60_000; i++ {
+				switch op := r.Intn(1000); {
+				case op < 10:
+					addr := randAddr()
+					f1, d1 := fast.Invalidate(addr)
+					f2, d2 := slow.Invalidate(addr)
+					if f1 != f2 || d1 != d2 {
+						t.Fatalf("op %d: Invalidate(%#x) = %v,%v vs %v,%v", i, addr, f1, d1, f2, d2)
+					}
+				case op < 13 && (mode == Partitioned || mode == PartitionedMask):
+					a := r.Intn(cfg.Ways + 1)
+					b := r.Intn(cfg.Ways + 1 - a)
+					c2 := r.Intn(cfg.Ways + 1 - a - b)
+					tg := []int{a, b, c2, cfg.Ways - a - b - c2}
+					if err := fast.SetTargets(tg); err != nil {
+						t.Fatal(err)
+					}
+					if err := slow.SetTargets(tg); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					thread := r.Intn(cfg.NumThreads)
+					addr := randAddr()
+					write := r.Bool(0.3)
+					got := fast.Access(thread, addr, write)
+					want := slow.Access(thread, addr, write)
+					if got != want {
+						t.Fatalf("op %d (thread %d, addr %#x, write %v): %+v vs %+v",
+							i, thread, addr, write, got, want)
+					}
+				}
+			}
+			fs, ss := fast.State(), slow.State()
+			if !reflect.DeepEqual(fs, ss) {
+				t.Fatal("states diverged between accelerated and scan paths")
+			}
+			if err := fast.checkInvariants(); err != nil {
+				t.Error(err)
+			}
+			// Restore round trip (the accelerated cache rebuilds its
+			// derived structures), then more traffic to prove the rebuilt
+			// structures still track the scan paths.
+			if err := fast.Restore(ss); err != nil {
+				t.Fatal(err)
+			}
+			if err := fast.checkInvariants(); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < 5_000; i++ {
+				thread := r.Intn(cfg.NumThreads)
+				addr := randAddr()
+				got := fast.Access(thread, addr, false)
+				want := slow.Access(thread, addr, false)
+				if got != want {
+					t.Fatalf("post-restore op %d: %+v vs %+v", i, got, want)
+				}
+			}
+		})
 	}
 }
 

@@ -33,17 +33,17 @@ func (c *Cache) State() State {
 	st := State{
 		Cfg:         c.cfg,
 		Mode:        c.mode,
-		Lines:       make([]LineState, len(c.sets)),
+		Lines:       make([]LineState, len(c.tagv)),
 		OwnCount:    make([]int16, len(c.ownCount)),
 		Target:      make([]int, len(c.target)),
 		Clock:       c.clock,
 		Stats:       c.Stats(),
 		TadipInsert: c.tadipInsert,
 	}
-	for i, ln := range c.sets {
+	for i := range st.Lines {
 		st.Lines[i] = LineState{
-			Tag: ln.tag, LastUse: ln.lastUse, LastAcc: ln.lastAcc,
-			Owner: ln.owner, Valid: ln.valid, Dirty: ln.dirty,
+			Tag: c.tags[i], LastUse: c.lastUse[i], LastAcc: c.lastAcc[i],
+			Owner: c.owner[i], Valid: c.tagv[i] != 0, Dirty: c.dirty[i],
 		}
 	}
 	copy(st.OwnCount, c.ownCount)
@@ -64,8 +64,8 @@ func (c *Cache) Restore(st State) error {
 		return fmt.Errorf("cache: restore config %+v does not match %+v", st.Cfg, c.cfg)
 	case st.Mode != c.mode:
 		return fmt.Errorf("cache: restore mode %v does not match %v", st.Mode, c.mode)
-	case len(st.Lines) != len(c.sets):
-		return fmt.Errorf("cache: restore has %d lines, want %d", len(st.Lines), len(c.sets))
+	case len(st.Lines) != len(c.tagv):
+		return fmt.Errorf("cache: restore has %d lines, want %d", len(st.Lines), len(c.tagv))
 	case len(st.OwnCount) != len(c.ownCount):
 		return fmt.Errorf("cache: restore has %d ownership counters, want %d", len(st.OwnCount), len(c.ownCount))
 	case len(st.Target) != len(c.target):
@@ -77,9 +77,15 @@ func (c *Cache) Restore(st State) error {
 		if ln.Valid && (ln.Owner < 0 || int(ln.Owner) >= c.cfg.NumThreads) {
 			return fmt.Errorf("cache: restore line %d has owner %d out of range", i, ln.Owner)
 		}
-		c.sets[i] = line{
-			tag: ln.Tag, lastUse: ln.LastUse, lastAcc: ln.LastAcc,
-			owner: ln.Owner, valid: ln.Valid, dirty: ln.Dirty,
+		c.tags[i] = ln.Tag
+		c.lastUse[i] = ln.LastUse
+		c.lastAcc[i] = ln.LastAcc
+		c.owner[i] = ln.Owner
+		c.dirty[i] = ln.Dirty
+		if ln.Valid {
+			c.tagv[i] = ln.Tag<<1 | 1
+		} else {
+			c.tagv[i] = 0
 		}
 	}
 	copy(c.ownCount, st.OwnCount)
@@ -95,6 +101,12 @@ func (c *Cache) Restore(st State) error {
 		c.psel = append([]int(nil), st.Psel...)
 		c.bipCount = append([]uint32(nil), st.BipCount...)
 	}
+	// The resident-line index and recency lists are derived state,
+	// deliberately absent from State; rebuild them for the restored
+	// contents (before the invariant check, which cross-validates them
+	// against the line arrays).
+	c.idxRebuild()
+	c.lruRebuild()
 	if err := c.checkInvariants(); err != nil {
 		return fmt.Errorf("cache: restored state is inconsistent: %w", err)
 	}

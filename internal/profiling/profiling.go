@@ -1,0 +1,49 @@
+// Package profiling wires the -pprof flag of the command-line tools to
+// the runtime CPU profiler. It exists so every binary exposes the same
+// flag semantics and so the profile is flushed even on the explicit
+// os.Exit paths the tools use (deferred stops alone would lose it).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop
+// function that flushes and closes the file. If path is empty it is a
+// no-op: callers can unconditionally `stop := profiling.MustStartCPU(p);
+// defer stop()` and call stop() again before any os.Exit.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	done := false
+	return func() {
+		if done {
+			return // second call from an explicit pre-exit stop
+		}
+		done = true
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// MustStartCPU is StartCPU for main functions: on error it prints to
+// stderr and exits.
+func MustStartCPU(path string) (stop func()) {
+	stop, err := StartCPU(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return stop
+}

@@ -20,7 +20,7 @@ func (s *Simulator) RunIntervalsContext(ctx context.Context, n int, hook Interva
 	done := ctx.Done()
 	for s.intervalIdx < n {
 		prev := s.intervalIdx
-		if !s.step() {
+		if !s.advance() {
 			s.releaseBarrier()
 		}
 		if s.intervalIdx == prev {
@@ -48,7 +48,7 @@ func (s *Simulator) RunSectionsContext(ctx context.Context, n int, hook Interval
 	for completed := 0; completed < n; completed++ {
 		for {
 			prev := s.intervalIdx
-			if !s.step() {
+			if !s.advance() {
 				break
 			}
 			if s.intervalIdx == prev {

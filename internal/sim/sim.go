@@ -23,6 +23,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"intracache/internal/cache"
 	"intracache/internal/mem"
@@ -248,7 +249,11 @@ type PhaseFunc func(thread, interval int) (wsScale, streamScale float64)
 
 // threadState is one simulated core/thread.
 type threadState struct {
-	gen         trace.Source
+	gen trace.Source
+	// runSrc caches gen's RunSource capability (nil when the source only
+	// supports one-at-a-time Next); resolved once so the hot path never
+	// type-asserts.
+	runSrc      trace.RunSource
 	cycles      uint64 // wall-clock cycle count (includes barrier stalls)
 	waiting     bool
 	sectionLeft uint64
@@ -313,6 +318,21 @@ type Simulator struct {
 	intervals     []IntervalStats
 	barriers      int
 	curTargets    []int
+
+	// heap is a min-heap of runnable threads ordered by (cycles, index) —
+	// the run-ahead scheduler's ready queue. Each entry packs
+	// (cycles << idxBits) | threadIndex into one word so heap ordering is
+	// a single integer compare while remaining exactly the lexicographic
+	// (cycles, index) order. Only the root's clock changes while it
+	// executes, so one key write-back plus sift-down per batch keeps it
+	// valid. Rebuilt at barriers and restores; not serialized.
+	heap    []uint64
+	idxBits uint
+	idxMask uint64
+	// refStep switches the simulator to the retained pre-optimization
+	// stepper (one linear scan + one instruction per step). The batched
+	// scheduler is pinned bit-identical to it by differential tests.
+	refStep bool
 }
 
 // New builds a simulator. gens must contain exactly p.NumThreads
@@ -327,6 +347,11 @@ func New(p Params, gens []trace.Source, ctl Controller, phase PhaseFunc) (*Simul
 		return nil, fmt.Errorf("sim: %d generators for %d threads", len(gens), p.NumThreads)
 	}
 	s := &Simulator{p: p, ctl: ctl, phase: phase}
+	// Packed heap keys reserve the low idxBits for the thread index. The
+	// clock occupies the remaining 64-idxBits bits, far beyond any
+	// reachable cycle count (2^58 cycles even at 64 threads).
+	s.idxBits = uint(bits.Len(uint(p.NumThreads - 1)))
+	s.idxMask = 1<<s.idxBits - 1
 	s.threads = make([]threadState, p.NumThreads)
 	s.l1 = make([]*cache.Cache, p.NumThreads)
 	for i := range s.threads {
@@ -334,6 +359,7 @@ func New(p Params, gens []trace.Source, ctl Controller, phase PhaseFunc) (*Simul
 			return nil, fmt.Errorf("sim: nil source for thread %d", i)
 		}
 		s.threads[i].gen = gens[i]
+		s.threads[i].runSrc, _ = gens[i].(trace.RunSource)
 		s.threads[i].sectionLeft = p.SectionInstructions
 		l1cfg := p.L1
 		l1cfg.NumThreads = 1
@@ -414,7 +440,18 @@ func New(p Params, gens []trace.Source, ctl Controller, phase PhaseFunc) (*Simul
 	}
 	s.applyPhase(0)
 	s.noteTargets()
+	s.rebuildHeap()
 	return s, nil
+}
+
+// SetReferenceStepper selects between the batched run-ahead scheduler
+// (default) and the retained one-instruction-at-a-time reference
+// stepper. The two are bit-identical by construction; the reference
+// exists so differential tests (and bisects) can prove it. Call it
+// before running, not mid-batch.
+func (s *Simulator) SetReferenceStepper(on bool) {
+	s.refStep = on
+	s.rebuildHeap()
 }
 
 // Params returns the simulator's parameters.
@@ -491,10 +528,24 @@ func (s *Simulator) noteTargets() {
 	}
 }
 
-// step executes one instruction on the globally-earliest runnable
-// thread. It returns false when every thread is blocked at the barrier
-// (the caller then releases the barrier).
-func (s *Simulator) step() bool {
+// advance executes the next stretch of the simulation: one instruction
+// under the reference stepper, or one run-ahead batch under the default
+// scheduler. Either way it returns false when every thread is blocked
+// at the barrier (the caller then releases it), and it returns to the
+// caller immediately after completing an execution interval so hooks,
+// cancellation, and checkpoints observe every boundary.
+func (s *Simulator) advance() bool {
+	if s.refStep {
+		return s.stepRef()
+	}
+	return s.stepBatch()
+}
+
+// stepRef executes one instruction on the globally-earliest runnable
+// thread — the retained pre-optimization stepper (O(NumThreads) scan
+// per instruction). It is the behavioural reference the run-ahead
+// scheduler is differentially tested against.
+func (s *Simulator) stepRef() bool {
 	// Pick the runnable thread with the smallest cycle clock.
 	sel := -1
 	for i := range s.threads {
@@ -512,37 +563,7 @@ func (s *Simulator) step() bool {
 	in := th.gen.Next()
 	cost := s.p.BaseCycles
 	if in.IsMem {
-		l1res := s.l1[sel].Access(0, in.Addr, in.Write)
-		if s.presence != nil {
-			cost += s.coherence(sel, in.Addr, in.Write, l1res)
-		}
-		if !l1res.Hit {
-			th.iv.L1Misses++
-			var l2res cache.AccessResult
-			if s.l2 != nil {
-				l2res = s.l2.Access(sel, in.Addr, in.Write)
-			} else {
-				l2res = s.l2Priv[sel].Access(0, in.Addr, in.Write)
-			}
-			if s.mon != nil {
-				s.mon.Observe(sel, in.Addr)
-			}
-			th.iv.L2Accesses++
-			if l2res.Hit {
-				th.iv.L2Hits++
-				cost += s.p.L2HitCycles
-			} else {
-				th.iv.L2Misses++
-				if s.dram != nil {
-					cost += s.dram.Access(in.Addr, th.cycles)
-				} else {
-					cost += s.p.MemCycles
-				}
-				if l2res.WritebackDirty {
-					cost += s.p.WritebackCycles
-				}
-			}
-		}
+		cost += s.memAccess(sel, th, in)
 	}
 	th.cycles += cost
 	th.iv.ActiveCycles += cost
@@ -558,6 +579,215 @@ func (s *Simulator) step() bool {
 		s.endInterval()
 	}
 	return true
+}
+
+// memAccess walks one memory instruction through the L1→L2→memory
+// hierarchy on behalf of thread sel and returns the cycles it adds on
+// top of BaseCycles. th.cycles must not yet include this instruction's
+// cost (the DRAM model timestamps the access with the pre-instruction
+// clock). Shared by the reference stepper and the batched scheduler so
+// the two cannot drift.
+func (s *Simulator) memAccess(sel int, th *threadState, in trace.Instr) uint64 {
+	var cost uint64
+	l1res := s.l1[sel].Access(0, in.Addr, in.Write)
+	if s.presence != nil {
+		cost += s.coherence(sel, in.Addr, in.Write, l1res)
+	}
+	if !l1res.Hit {
+		th.iv.L1Misses++
+		var l2res cache.AccessResult
+		if s.l2 != nil {
+			l2res = s.l2.Access(sel, in.Addr, in.Write)
+		} else {
+			l2res = s.l2Priv[sel].Access(0, in.Addr, in.Write)
+		}
+		if s.mon != nil {
+			s.mon.Observe(sel, in.Addr)
+		}
+		th.iv.L2Accesses++
+		if l2res.Hit {
+			th.iv.L2Hits++
+			cost += s.p.L2HitCycles
+		} else {
+			th.iv.L2Misses++
+			if s.dram != nil {
+				cost += s.dram.Access(in.Addr, th.cycles)
+			} else {
+				cost += s.p.MemCycles
+			}
+			if l2res.WritebackDirty {
+				cost += s.p.WritebackCycles
+			}
+		}
+	}
+	return cost
+}
+
+// stepBatch is the run-ahead scheduler. The ready queue is a min-heap
+// of runnable threads keyed by (cycles, index) — exactly the order the
+// reference stepper's per-instruction argmin scan resolves ties in —
+// and the root thread executes a *batch* of instructions until its
+// clock lexicographically passes the runner-up (the smaller of the
+// root's heap children), it blocks at the barrier, or it completes an
+// execution interval. Scheduling cost is thereby amortized to one
+// sift-down per batch instead of an O(NumThreads) scan per instruction,
+// and stretches of non-memory instructions inside a batch are retired
+// through trace.RunSource.NextRun with a single run-length add.
+func (s *Simulator) stepBatch() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	selKey := s.heap[0] & s.idxMask
+	sel := int32(selKey)
+	th := &s.threads[sel]
+
+	// The runner-up bound: the thread keeps executing while its packed
+	// key stays below the smaller of the root's children — i.e. while
+	// (cycles, sel) < (ruCycles, ruIdx) lexicographically. With no other
+	// runnable thread the bound is +inf.
+	ruKey := ^uint64(0)
+	hasRU := false
+	if len(s.heap) > 1 {
+		ruKey = s.heap[1]
+		if len(s.heap) > 2 && s.heap[2] < ruKey {
+			ruKey = s.heap[2]
+		}
+		hasRU = true
+	}
+	ruCycles := ruKey >> s.idxBits
+	ruIdx := int32(ruKey & s.idxMask)
+
+	base := s.p.BaseCycles
+	for {
+		// Batch bound: how many instructions may retire before a
+		// boundary the reference stepper would observe per-instruction.
+		// All three bounds are exact, so checking them per *batch* is
+		// equivalent to checking them per instruction.
+		max := th.sectionLeft
+		if left := s.p.IntervalInstructions - s.intervalAccum; left < max {
+			max = left
+		}
+		if hasRU {
+			// The scheduling precondition is evaluated before each
+			// instruction: instruction j (0-based) of a pure-compute run
+			// requires cycles + j*base lex< (ruCycles, ruIdx). base == 1
+			// (the common configuration) skips the integer divisions.
+			headroom := ruCycles - th.cycles
+			var byClock uint64
+			switch {
+			case base == 1 && sel < ruIdx:
+				byClock = headroom + 1
+			case base == 1:
+				byClock = headroom
+			case sel < ruIdx:
+				byClock = headroom/base + 1
+			default:
+				byClock = (headroom + base - 1) / base // ceil: strict inequality
+			}
+			if byClock < max {
+				max = byClock
+			}
+		}
+
+		var n uint64
+		var in trace.Instr
+		if th.runSrc != nil {
+			n, in = th.runSrc.NextRun(max)
+		} else if in = th.gen.Next(); !in.IsMem {
+			n, in = 1, trace.Instr{}
+		}
+		// Retire the compute run and the trailing memory instruction (if
+		// any) with one fused bookkeeping update. The memory access must
+		// see th.cycles inclusive of the run's cycles but exclusive of
+		// its own cost (the DRAM model timestamps with the pre-access
+		// clock), so the clock is split out from the rest.
+		instrs := n
+		cost := n * base
+		if in.IsMem {
+			th.cycles += cost
+			mem := base + s.memAccess(int(sel), th, in)
+			th.cycles += mem
+			cost += mem
+			instrs++
+			th.iv.ActiveCycles += cost
+		} else {
+			th.cycles += cost
+			th.iv.ActiveCycles += cost
+		}
+		th.iv.Instructions += instrs
+		th.totalInstr += instrs
+		th.sectionLeft -= instrs
+		s.intervalAccum += instrs
+
+		if th.sectionLeft == 0 {
+			th.waiting = true
+			s.popHeapRoot()
+			if s.intervalAccum >= s.p.IntervalInstructions {
+				s.endInterval()
+			}
+			return true
+		}
+		if s.intervalAccum >= s.p.IntervalInstructions {
+			s.heap[0] = th.cycles<<s.idxBits | selKey
+			s.siftDown(0)
+			s.endInterval()
+			return true
+		}
+		// Still runnable and mid-interval: keep the batch going while
+		// this thread remains the earliest.
+		if hasRU {
+			if key := th.cycles<<s.idxBits | selKey; key >= ruKey {
+				s.heap[0] = key
+				s.siftDown(0)
+				return true
+			}
+		}
+	}
+}
+
+// rebuildHeap reconstructs the ready queue from scratch (construction,
+// barrier release, restore, stepper switch).
+func (s *Simulator) rebuildHeap() {
+	s.heap = s.heap[:0]
+	for i := range s.threads {
+		if !s.threads[i].waiting {
+			s.heap = append(s.heap, s.threads[i].cycles<<s.idxBits|uint64(i))
+		}
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below node i.
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s.heap[r] < s.heap[l] {
+			m = r
+		}
+		if s.heap[m] >= s.heap[i] {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// popHeapRoot removes the ready queue's root (a thread that just
+// blocked at the barrier).
+func (s *Simulator) popHeapRoot() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
 }
 
 // coherence maintains the L1 presence map for one access and returns
@@ -628,6 +858,7 @@ func (s *Simulator) releaseBarrier() {
 		th.sectionLeft = s.p.SectionInstructions
 	}
 	s.barriers++
+	s.rebuildHeap()
 }
 
 // endInterval snapshots counters, consults the controller, applies new
@@ -676,6 +907,7 @@ func (s *Simulator) SwapThreads(i, j int) error {
 		return fmt.Errorf("sim: SwapThreads(%d, %d) out of range [0,%d)", i, j, s.p.NumThreads)
 	}
 	s.threads[i].gen, s.threads[j].gen = s.threads[j].gen, s.threads[i].gen
+	s.threads[i].runSrc, s.threads[j].runSrc = s.threads[j].runSrc, s.threads[i].runSrc
 	return nil
 }
 

@@ -404,7 +404,7 @@ func BenchmarkSimStep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !s.step() {
+		if !s.advance() {
 			s.releaseBarrier()
 		}
 	}

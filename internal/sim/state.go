@@ -2,12 +2,20 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"intracache/internal/cache"
 	"intracache/internal/mem"
 	"intracache/internal/trace"
 	"intracache/internal/umon"
 )
+
+// PresenceEntry is one line of the coherence presence map: which cores'
+// L1s hold the line.
+type PresenceEntry struct {
+	Line uint64
+	Mask uint64
+}
 
 // ThreadSnapshot is the serializable state of one simulated thread.
 type ThreadSnapshot struct {
@@ -38,7 +46,13 @@ type State struct {
 	Mon     *umon.State
 	DRAM    *mem.State
 
-	Presence      map[uint64]uint64
+	// Coherence records whether the captured simulator ran with L1
+	// coherence; Presence is its presence map flattened to line-address
+	// order. A sorted slice (not a map) keeps the gob encoding of two
+	// equal states byte-identical; map iteration order would otherwise
+	// randomize checkpoint bytes between runs.
+	Coherence     bool
+	Presence      []PresenceEntry
 	Invalidations uint64
 
 	IntervalIdx   int
@@ -57,6 +71,7 @@ func (s *Simulator) State() (State, error) {
 		L2Org:         s.p.L2Org,
 		Threads:       make([]ThreadSnapshot, len(s.threads)),
 		L1:            make([]cache.State, len(s.l1)),
+		Coherence:     s.presence != nil,
 		Invalidations: s.invalidations,
 		IntervalIdx:   s.intervalIdx,
 		IntervalAccum: s.intervalAccum,
@@ -97,10 +112,13 @@ func (s *Simulator) State() (State, error) {
 		st.DRAM = &d
 	}
 	if s.presence != nil {
-		st.Presence = make(map[uint64]uint64, len(s.presence))
+		st.Presence = make([]PresenceEntry, 0, len(s.presence))
 		for k, v := range s.presence {
-			st.Presence[k] = v
+			st.Presence = append(st.Presence, PresenceEntry{Line: k, Mask: v})
 		}
+		sort.Slice(st.Presence, func(i, j int) bool {
+			return st.Presence[i].Line < st.Presence[j].Line
+		})
 	}
 	for _, iv := range s.intervals {
 		cp := iv
@@ -137,7 +155,7 @@ func (s *Simulator) Restore(st State) error {
 		return fmt.Errorf("sim: restore UMON presence mismatch")
 	case (st.DRAM == nil) != (s.dram == nil):
 		return fmt.Errorf("sim: restore DRAM presence mismatch")
-	case (st.Presence == nil) != (s.presence == nil):
+	case st.Coherence != (s.presence != nil):
 		return fmt.Errorf("sim: restore coherence presence mismatch")
 	case st.CurTargets != nil && len(st.CurTargets) != len(s.curTargets):
 		return fmt.Errorf("sim: restore has %d way targets, want %d", len(st.CurTargets), len(s.curTargets))
@@ -186,8 +204,8 @@ func (s *Simulator) Restore(st State) error {
 	}
 	if s.presence != nil {
 		s.presence = make(map[uint64]uint64, len(st.Presence))
-		for k, v := range st.Presence {
-			s.presence[k] = v
+		for _, e := range st.Presence {
+			s.presence[e.Line] = e.Mask
 		}
 	}
 	s.invalidations = st.Invalidations
@@ -203,5 +221,8 @@ func (s *Simulator) Restore(st State) error {
 	if st.CurTargets != nil {
 		copy(s.curTargets, st.CurTargets)
 	}
+	// The ready queue is derived state (thread clocks + waiting flags),
+	// deliberately absent from State; rebuild it for the new clocks.
+	s.rebuildHeap()
 	return nil
 }

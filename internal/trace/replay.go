@@ -16,9 +16,25 @@ type Source interface {
 	SetPhase(wsScale, streamScale float64)
 }
 
+// RunSource is an optional Source extension for batched consumption.
+// NextRun(max) consumes up to max instructions in one call: it returns
+// the number of leading non-memory instructions (nonMem) and, when a
+// memory access ended the run, that access with IsMem true — for a
+// total of nonMem+1 instructions consumed. When IsMem is false the run
+// was cut by max and exactly nonMem == max instructions were consumed.
+//
+// The contract is strict equivalence: the instruction stream (and any
+// internal RNG/cursor state) after NextRun must be bit-identical to the
+// same number of Next calls. The simulator's run-ahead scheduler uses
+// NextRun to retire pure-compute stretches with O(1) accounting.
+type RunSource interface {
+	Source
+	NextRun(max uint64) (nonMem uint64, in Instr)
+}
+
 var (
-	_ Source = (*ThreadGen)(nil)
-	_ Source = (*Replayer)(nil)
+	_ RunSource = (*ThreadGen)(nil)
+	_ RunSource = (*Replayer)(nil)
 )
 
 // Trace file format (version 1):
@@ -227,6 +243,49 @@ func (rp *Replayer) Next() Instr {
 		rp.pos++
 		return Instr{IsMem: true, Write: rec.write, Addr: rec.addr}
 	}
+}
+
+// NextRun implements RunSource. Unlike the synthetic generator, the
+// replayer stores non-memory stretches as run-length gaps, so a whole
+// gap is consumed with no per-instruction work at all.
+func (rp *Replayer) NextRun(max uint64) (nonMem uint64, in Instr) {
+	for nonMem < max {
+		if rp.inTail {
+			if rp.inGap > 0 {
+				take := rp.inGap
+				if take > max-nonMem {
+					take = max - nonMem
+				}
+				rp.inGap -= take
+				nonMem += take
+				continue
+			}
+			// Wrap around.
+			rp.inTail = false
+			rp.pos = 0
+		}
+		if rp.pos >= len(rp.records) {
+			rp.inTail = true
+			rp.inGap = rp.tailGap
+			continue
+		}
+		rec := &rp.records[rp.pos]
+		if rp.inGap < rec.gap {
+			take := rec.gap - rp.inGap
+			if take > max-nonMem {
+				take = max - nonMem
+			}
+			rp.inGap += take
+			nonMem += take
+			continue
+		}
+		rp.inGap = 0
+		rp.pos++
+		rp.replayed += nonMem + 1
+		return nonMem, Instr{IsMem: true, Write: rec.write, Addr: rec.addr}
+	}
+	rp.replayed += nonMem
+	return nonMem, Instr{}
 }
 
 // SetPhase implements Source; a recorded trace cannot change phase.

@@ -22,6 +22,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"intracache/internal/xrand"
 )
@@ -183,6 +184,16 @@ type ThreadGen struct {
 	effStreamWt  float64
 	effSharedWt  float64
 	instructions uint64
+
+	// memThresh is ceil(MemRatio * 2^53): for 0 < MemRatio < 1 and a
+	// uniform draw u, u>>11 < memThresh iff float64(u>>11)/2^53 <
+	// MemRatio, because MemRatio*2^53 is an exact float64 product. It
+	// lets the per-instruction Bernoulli in NextRun skip the
+	// integer-to-float conversion without changing a single outcome.
+	// writeThresh is the same for WriteRatio, with ^uint64(0) marking
+	// WriteRatio >= 1 (always write, no draw — matching Rand.Bool).
+	memThresh   uint64
+	writeThresh uint64
 }
 
 // NewThread creates a generator for the spec, drawing randomness from
@@ -192,6 +203,15 @@ func NewThread(spec ThreadSpec, rng *xrand.Rand) (*ThreadGen, error) {
 		return nil, err
 	}
 	g := &ThreadGen{spec: spec, rng: rng}
+	if spec.MemRatio > 0 && spec.MemRatio < 1 {
+		g.memThresh = uint64(math.Ceil(spec.MemRatio * (1 << 53)))
+	}
+	switch {
+	case spec.WriteRatio >= 1:
+		g.writeThresh = ^uint64(0)
+	case spec.WriteRatio > 0:
+		g.writeThresh = uint64(math.Ceil(spec.WriteRatio * (1 << 53)))
+	}
 	g.SetPhase(1, 1)
 	return g, nil
 }
@@ -247,7 +267,53 @@ func (g *ThreadGen) Next() Instr {
 	if !g.rng.Bool(g.spec.MemRatio) {
 		return Instr{}
 	}
-	in := Instr{IsMem: true, Write: g.rng.Bool(g.spec.WriteRatio)}
+	return g.memInstr()
+}
+
+// NextRun implements RunSource: it consumes up to max instructions,
+// returning the count of leading non-memory instructions and, when the
+// run ended on a memory access, that access (IsMem true). The generator
+// draws exactly one Bernoulli sample per instruction either way, so a
+// NextRun-driven stream is bit-identical — including RNG state — to the
+// same stream pulled one Next at a time. The Bernoulli compare uses the
+// precomputed integer threshold (see memThresh), which decides
+// Float64() < MemRatio without the float conversion; the degenerate
+// ratios take the same draw-free paths as Rand.Bool.
+func (g *ThreadGen) NextRun(max uint64) (nonMem uint64, in Instr) {
+	if max == 0 {
+		return 0, Instr{}
+	}
+	p := g.spec.MemRatio
+	if p <= 0 {
+		g.instructions += max
+		return max, Instr{}
+	}
+	if p >= 1 {
+		g.instructions++
+		return 0, g.memInstr()
+	}
+	rng, thresh := g.rng, g.memThresh
+	for nonMem < max {
+		if rng.Uint64()>>11 < thresh {
+			g.instructions += nonMem + 1
+			return nonMem, g.memInstr()
+		}
+		nonMem++
+	}
+	g.instructions += nonMem
+	return nonMem, Instr{}
+}
+
+// memInstr draws one memory access from the mixture.
+func (g *ThreadGen) memInstr() Instr {
+	write := false
+	switch {
+	case g.writeThresh == ^uint64(0):
+		write = true
+	case g.writeThresh > 0:
+		write = g.rng.Uint64()>>11 < g.writeThresh
+	}
+	in := Instr{IsMem: true, Write: write}
 	u := g.rng.Float64()
 	strideCut := g.effStreamWt + g.effSharedWt + g.spec.StrideWeight
 	switch {

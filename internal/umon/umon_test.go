@@ -265,3 +265,26 @@ func BenchmarkObserve(b *testing.B) {
 		m.Observe(i&3, addrs[i&4095])
 	}
 }
+
+// TestObserveZeroAlloc pins the sampled-shadow-tag update at zero heap
+// allocations: Observe runs on every sampled L2 access in the
+// simulator hot path.
+func TestObserveZeroAlloc(t *testing.T) {
+	c := cfg4()
+	m := mustNew(t, c)
+	r := xrand.New(9)
+	addrs := make([]uint64, 2048)
+	for i := range addrs {
+		addrs[i] = addrFor(c, r.Intn(c.Sets), uint64(r.Intn(64)))
+	}
+	for i, a := range addrs { // warm the shadow tags
+		m.Observe(i&3, a)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(10_000, func() {
+		m.Observe(i&3, addrs[i&2047])
+		i++
+	}); n != 0 {
+		t.Errorf("%v allocs per Observe, want 0", n)
+	}
+}

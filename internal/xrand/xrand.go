@@ -13,6 +13,7 @@ package xrand
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -159,8 +160,42 @@ func (r *Rand) NormFloat64() float64 {
 // lines are sampled through coarse buckets, not per-line tables).
 type Zipf struct {
 	cdf []float64
-	r   *Rand
+	// cdfInt[i] is floor(cdf[i] * 2^53). A uniform draw u compares
+	// against cdf entries as u = b/2^53 for the 53-bit integer b, and
+	// cdf[i] >= b/2^53 iff floor(cdf[i]*2^53) >= b (the scaling is an
+	// exact power-of-two multiply), so the lookup runs entirely on
+	// integer compares without changing a single sampled rank.
+	cdfInt []uint64
+	// guide[k] is the first index i with cdf[i] >= k/len(guide): a
+	// guide table that turns the inverse-CDF lookup into an O(1)
+	// expected scan of ~2 entries instead of a cache-missing binary
+	// search. The lookup result is exactly the binary search's ("first
+	// cdf entry >= u"), so sampled streams are unchanged.
+	guide []int32
+	r     *Rand
 }
+
+// zipfKey identifies a (n, alpha) table pair for the sampler cache.
+type zipfKey struct {
+	n     int
+	alpha float64
+}
+
+// zipfTables are the immutable precomputed tables for one (n, alpha).
+// Once published through zipfCache they are only ever read, so samplers
+// on different goroutines can share them.
+type zipfTables struct {
+	cdf    []float64
+	cdfInt []uint64
+	guide  []int32
+}
+
+// zipfCache memoizes tables across samplers. Phase modulation rebuilds
+// samplers every interval with a small set of recurring (n, alpha)
+// pairs, so the (deterministic) tables are worth sharing: the map stays
+// tiny while the math.Pow construction cost is paid once per pair
+// instead of once per interval per thread.
+var zipfCache sync.Map // zipfKey -> *zipfTables
 
 // NewZipf builds a Zipf sampler over n ranks with exponent alpha >= 0.
 // alpha == 0 degenerates to the uniform distribution.
@@ -171,35 +206,58 @@ func NewZipf(r *Rand, n int, alpha float64) *Zipf {
 	if alpha < 0 {
 		panic("xrand: NewZipf called with alpha < 0")
 	}
-	z := &Zipf{cdf: make([]float64, n), r: r}
+	key := zipfKey{n: n, alpha: alpha}
+	if t, ok := zipfCache.Load(key); ok {
+		tab := t.(*zipfTables)
+		return &Zipf{cdf: tab.cdf, cdfInt: tab.cdfInt, guide: tab.guide, r: r}
+	}
+	tab := &zipfTables{cdf: make([]float64, n), cdfInt: make([]uint64, n), guide: make([]int32, n)}
 	sum := 0.0
 	for i := 0; i < n; i++ {
 		sum += 1 / math.Pow(float64(i+1), alpha)
-		z.cdf[i] = sum
+		tab.cdf[i] = sum
 	}
 	inv := 1 / sum
-	for i := range z.cdf {
-		z.cdf[i] *= inv
+	for i := range tab.cdf {
+		tab.cdf[i] *= inv
 	}
-	z.cdf[n-1] = 1 // guard against rounding
-	return z
+	tab.cdf[n-1] = 1 // guard against rounding
+	for i, v := range tab.cdf {
+		tab.cdfInt[i] = uint64(v * (1 << 53))
+	}
+	idx := int32(0)
+	for k := range tab.guide {
+		for tab.cdf[idx] < float64(k)/float64(n) {
+			idx++
+		}
+		tab.guide[k] = idx
+	}
+	if prev, loaded := zipfCache.LoadOrStore(key, tab); loaded {
+		tab = prev.(*zipfTables) // another goroutine won the race; share its tables
+	}
+	return &Zipf{cdf: tab.cdf, cdfInt: tab.cdfInt, guide: tab.guide, r: r}
 }
 
 // N returns the number of ranks the sampler draws from.
 func (z *Zipf) N() int { return len(z.cdf) }
 
-// Next returns the next sampled rank in [0, N()).
+// Next returns the next sampled rank in [0, N()): the first index whose
+// cdf entry is >= the uniform draw b/2^53 — evaluated in the integer
+// domain via cdfInt (see its comment for the exact equivalence). The
+// guide table gives a starting point near the answer, and the two
+// correction loops converge to the unique fixpoint from any start, so
+// the result equals a full binary search for every draw. b*n cannot
+// reach n*2^53, so the bucket index stays in range without clamping.
 func (z *Zipf) Next() int {
-	u := z.r.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	b := z.r.Uint64() >> 11 // the same 53-bit draw Float64 scales
+	hi, lo := mul64(b, uint64(len(z.guide)))
+	k := int(hi<<11 | lo>>53) // floor(b*n / 2^53)
+	i := int(z.guide[k])
+	for i > 0 && z.cdfInt[i-1] >= b {
+		i--
 	}
-	return lo
+	for z.cdfInt[i] < b {
+		i++
+	}
+	return i
 }
