@@ -280,6 +280,47 @@ func BenchmarkFig22EightCore(b *testing.B) {
 	b.ReportMetric(experiment.MeanImprovement(res.VsShared), "meanVsShared%")
 }
 
+// --- Sweep pipeline benchmarks (DESIGN.md §5g) ---
+
+// sweepBenchPoints is a three-cell L2-associativity sweep over one
+// workload. Associativity does not perturb the instruction streams, so
+// with Pipeline set the cells share generated segments through the
+// process-wide trace cache.
+func sweepBenchPoints(pipeline bool) []experiment.SweepPoint {
+	var points []experiment.SweepPoint
+	for _, ways := range []int{16, 32, 64} {
+		cfg := benchCfg()
+		cfg.Sections = 12
+		cfg.L2Ways = ways
+		cfg.Pipeline = pipeline
+		points = append(points, experiment.SweepPoint{Label: "l2ways-" + itoa(uint64(ways)), Cfg: cfg})
+	}
+	return points
+}
+
+// BenchmarkSweepSynchronous and BenchmarkSweepPipelined time the same
+// multi-cell sweep with trace generation paid per cell vs once per
+// sweep. The pipelined variant flushes the shared trace cache every
+// iteration so each iteration measures a cold sweep, not a warmed one.
+func BenchmarkSweepSynchronous(b *testing.B) {
+	points := sweepBenchPoints(false)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Sweep(points, "cg", core.PolicyShared, core.PolicyModelBased, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepPipelined(b *testing.B) {
+	points := sweepBenchPoints(true)
+	for i := 0; i < b.N; i++ {
+		experiment.FlushTraceCache()
+		if _, err := experiment.Sweep(points, "cg", core.PolicyShared, core.PolicyModelBased, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md §5) ---
 
 // BenchmarkAblationIntervalLength varies the execution-interval length.

@@ -6,7 +6,10 @@
 // The gate compares whole benchmark runs on the same machine class, so
 // single-benchmark noise is damped two ways: the verdict is the
 // geomean across every benchmark present in both runs, and individual
-// ratios are reported so a real regression is attributable.
+// ratios are reported so a real regression is attributable. A baseline
+// benchmark absent from the run is itself a failure — a deleted or
+// renamed benchmark cannot dodge the gate; refresh the baseline with
+// -update when the removal is intentional.
 //
 // Usage:
 //
@@ -166,7 +169,9 @@ func compare(base, cur map[string]benchResult, threshold float64) (*report, erro
 	sort.Strings(rep.OnlyBase)
 	sort.Strings(rep.OnlyCur)
 	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
-	rep.Failed = rep.Geomean > 1+threshold
+	// A baseline benchmark missing from the run fails the gate outright:
+	// deleting (or renaming) a benchmark must not dodge the comparison.
+	rep.Failed = rep.Geomean > 1+threshold || len(rep.OnlyBase) > 0
 	return rep, nil
 }
 
@@ -178,7 +183,7 @@ func (r *report) String() string {
 			row.Name, row.BaseNs, row.CurNs, row.Ratio, row.AllocDelta)
 	}
 	for _, n := range r.OnlyBase {
-		fmt.Fprintf(&sb, "warning: %s is in the baseline but was not run\n", n)
+		fmt.Fprintf(&sb, "FAIL: %s is in the baseline but was not run (remove it with -update if intentional)\n", n)
 	}
 	for _, n := range r.OnlyCur {
 		fmt.Fprintf(&sb, "note: %s has no baseline entry (add with -update)\n", n)

@@ -124,6 +124,39 @@ func TestCompareReportsMissingBenchmarks(t *testing.T) {
 	}
 }
 
+// TestGateFailsOnMissingBenchmark pins the hard-fail: a benchmark in
+// the baseline but absent from the run fails the gate even when every
+// common benchmark is at parity, and the report says FAIL, not warning.
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 1}, "BenchmarkGone": {NsPerOp: 1}}
+	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 1}}
+	rep, err := compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Error("gate passed with a baseline benchmark missing from the run")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "FAIL: BenchmarkGone is in the baseline but was not run") {
+		t.Errorf("report does not flag the missing benchmark as a failure:\n%s", out)
+	}
+	if strings.Contains(out, "warning: BenchmarkGone") {
+		t.Errorf("missing benchmark still reported as a mere warning:\n%s", out)
+	}
+
+	// The complete run still passes at parity.
+	rep, err = compare(base, map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1}, "BenchmarkGone": {NsPerOp: 1},
+	}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Error("gate failed with all baseline benchmarks present at parity")
+	}
+}
+
 func TestBaselineRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	results, err := parseBench(strings.NewReader(sampleOutput))

@@ -48,6 +48,8 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
+	pipeline := flag.Bool("pipeline", false, "pipelined trace generation: overlap generation with simulation (bit-identical results)")
+	traceCacheMB := flag.Int("trace-cache-mb", 0, "segment-cache budget in MiB for -pipeline (0 = default 256, negative = no sharing)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
@@ -101,6 +103,8 @@ func main() {
 	if !plan.IsZero() {
 		cfg.Fault = &plan
 	}
+	cfg.Pipeline = *pipeline
+	cfg.TraceCacheMB = *traceCacheMB
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}

@@ -56,6 +56,8 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "per-thread probability of a stuck-counter repeat")
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
+	pipeline := flag.Bool("pipeline", false, "pipelined trace generation: sweep cells share generated segments (bit-identical results)")
+	traceCacheMB := flag.Int("trace-cache-mb", 0, "segment-cache budget in MiB for -pipeline (0 = default 256, negative = no sharing)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
 
@@ -85,6 +87,8 @@ func main() {
 	if !plan.IsZero() {
 		cfg.Fault = &plan
 	}
+	cfg.Pipeline = *pipeline
+	cfg.TraceCacheMB = *traceCacheMB
 
 	// A first ctrl-C / SIGTERM cancels the sweep: no new cells start,
 	// in-flight cells stop at their next interval boundary, and finished

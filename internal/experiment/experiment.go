@@ -54,6 +54,19 @@ type Config struct {
 	// internal/fault). Policies without a controller (shared, private,
 	// static-equal) are unaffected: they consume no telemetry.
 	Fault *fault.Plan
+
+	// Pipeline wraps the trace generators in trace.Pipelined: producer
+	// goroutines pre-generate instruction segments while the simulator
+	// consumes them (synchronous fallback when GOMAXPROCS==1), and the
+	// process-wide segment cache shares generated segments between runs
+	// of the same workload — sweep cells pay the RNG floor once, not
+	// once per cell. Results and checkpoints are bit-identical to
+	// synchronous generation; see internal/trace/pipeline.go.
+	Pipeline bool
+	// TraceCacheMB bounds the shared segment cache. 0 means the default
+	// (256 MiB); negative disables sharing (pure overlap, private
+	// segments). Ignored unless Pipeline is set.
+	TraceCacheMB int
 }
 
 // DefaultConfig returns the scaled default configuration: 4 threads,
@@ -212,7 +225,9 @@ func RunOneCtx(ctx context.Context, cfg Config, prof workload.Profile, pol core.
 	if err != nil {
 		return Run{}, err
 	}
-	s, err := sim.New(cfg.simParams(pol), trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+	srcs, closeSrcs := cfg.sources(gens)
+	defer closeSrcs()
+	s, err := sim.New(cfg.simParams(pol), srcs, ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
 	}
@@ -272,7 +287,9 @@ func RunWithEngine(cfg Config, prof workload.Profile, eng core.Engine, mode RunM
 		return Run{}, err
 	}
 	p := cfg.simParams(core.PolicyModelBased) // partitioned L2, no UMON
-	s, err := sim.New(p, trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+	srcs, closeSrcs := cfg.sources(gens)
+	defer closeSrcs()
+	s, err := sim.New(p, srcs, ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
 	}
@@ -307,7 +324,9 @@ func RunWithMigration(cfg Config, prof workload.Profile, pol core.Policy, swapAt
 	if err != nil {
 		return Run{}, err
 	}
-	s, err := sim.New(cfg.simParams(pol), trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+	srcs, closeSrcs := cfg.sources(gens)
+	defer closeSrcs()
+	s, err := sim.New(cfg.simParams(pol), srcs, ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
 	}

@@ -1,0 +1,95 @@
+package experiment
+
+// Trace-pipeline wiring: when Config.Pipeline is set, every run driver
+// (RunOneCtx, RunWithEngine, RunWithMigration, CheckpointedRun — and
+// therefore every sweep cell, which bottoms out in RunOneCtx) wraps its
+// generators in trace.Pipelined sharing one process-wide segment cache.
+// Sweep cells that simulate the same workload under different cache
+// configurations consume identical instruction streams, so the first
+// cell generates and publishes each thread's segments and the rest
+// replay them: the RNG floor is paid once per sweep, not once per cell.
+
+import (
+	"sync"
+
+	"intracache/internal/trace"
+)
+
+// defaultTraceCacheMB is the segment-cache budget when Config.Pipeline
+// is set and TraceCacheMB is 0. A headline figure's streams run ~1 KiB
+// of run-length records per 400 instructions, so 256 MiB comfortably
+// holds the whole nine-benchmark suite at default run lengths.
+const defaultTraceCacheMB = 256
+
+var (
+	traceCacheMu sync.Mutex
+	traceCache   *trace.SegmentCache
+)
+
+// sharedTraceCache returns the process-wide segment cache, creating it
+// on first use and retargeting its budget on later ones (last caller
+// wins, effective at the next publish).
+func sharedTraceCache(budgetMB int) *trace.SegmentCache {
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	if traceCache == nil {
+		traceCache = trace.NewSegmentCache(int64(budgetMB) << 20)
+	} else {
+		traceCache.SetBudget(int64(budgetMB) << 20)
+	}
+	return traceCache
+}
+
+// FlushTraceCache drops every segment the shared trace cache holds.
+// Call it between unrelated sweeps to release memory; attached runs
+// finish their current entries privately and correctness is unaffected.
+func FlushTraceCache() {
+	traceCacheMu.Lock()
+	c := traceCache
+	traceCacheMu.Unlock()
+	if c != nil {
+		c.Flush()
+	}
+}
+
+// TraceCacheStats reports the shared trace cache's counters; the zero
+// value when no pipelined run has used it yet.
+func TraceCacheStats() trace.CacheStats {
+	traceCacheMu.Lock()
+	c := traceCache
+	traceCacheMu.Unlock()
+	if c == nil {
+		return trace.CacheStats{}
+	}
+	return c.Stats()
+}
+
+// sources adapts a run's generators to its trace mode: bare generators
+// when Pipeline is off, Pipelined wrappers (with the shared cache
+// unless TraceCacheMB < 0) when on. The returned closer must run after
+// the simulation finishes; it stops producer goroutines and releases
+// cache references.
+func (c Config) sources(gens []*trace.ThreadGen) ([]trace.Source, func()) {
+	if !c.Pipeline {
+		return trace.Sources(gens), func() {}
+	}
+	var pcfg trace.PipelineConfig
+	if c.TraceCacheMB >= 0 {
+		mb := c.TraceCacheMB
+		if mb == 0 {
+			mb = defaultTraceCacheMB
+		}
+		pcfg.Cache = sharedTraceCache(mb)
+	}
+	out := make([]trace.Source, len(gens))
+	pipes := make([]*trace.Pipelined, len(gens))
+	for i, g := range gens {
+		pipes[i] = trace.NewPipelined(g, pcfg)
+		out[i] = pipes[i]
+	}
+	return out, func() {
+		for _, p := range pipes {
+			p.Close()
+		}
+	}
+}

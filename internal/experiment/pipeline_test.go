@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"intracache/internal/core"
+	"intracache/internal/workload"
+)
+
+// withAsync lifts GOMAXPROCS above 1 for the test's duration so
+// Pipeline runs spawn real producer goroutines on a single-CPU host.
+// An explicit GOMAXPROCS=1 environment is honoured so the CI
+// sync-fallback job pins the degraded path instead.
+func withAsync(t *testing.T) {
+	t.Helper()
+	if os.Getenv("GOMAXPROCS") == "1" {
+		return
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(1) })
+	}
+}
+
+// TestPipelineRunMatchesSynchronous pins Config.Pipeline as a pure
+// performance knob: the Result is deep-equal to the synchronous run's,
+// and a repeat run of the same workload is served from the shared
+// segment cache.
+func TestPipelineRunMatchesSynchronous(t *testing.T) {
+	withAsync(t)
+	cfg := QuickConfig()
+	cfg.Intervals = 6
+	prof, err := workload.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncRun, err := RunOne(cfg, prof, core.PolicyModelBased, ByIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pcfg := cfg
+	pcfg.Pipeline = true
+	FlushTraceCache()
+	pipeRun, err := RunOne(pcfg, prof, core.PolicyModelBased, ByIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(syncRun.Result, pipeRun.Result) {
+		t.Error("pipelined Result diverged from synchronous run")
+	}
+
+	repeat, err := RunOne(pcfg, prof, core.PolicyModelBased, ByIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(syncRun.Result, repeat.Result) {
+		t.Error("cache-served repeat Result diverged from synchronous run")
+	}
+	if st := TraceCacheStats(); st.Hits == 0 {
+		t.Errorf("repeat run never hit the shared trace cache: %+v", st)
+	}
+}
+
+// TestSweepPipelinedMatchesSynchronous pins sweep-cell sharing: a sweep
+// over L2 geometries (which leave the instruction streams untouched)
+// returns identical rows with Pipeline on, and the cells actually share
+// segments through the process-wide cache.
+func TestSweepPipelinedMatchesSynchronous(t *testing.T) {
+	withAsync(t)
+	base := QuickConfig()
+	base.Sections = 5
+	mkPoints := func(pipeline bool) []SweepPoint {
+		var points []SweepPoint
+		for _, l2 := range []int{128, 256} {
+			cfg := base
+			cfg.L2KB = l2
+			cfg.Pipeline = pipeline
+			points = append(points, SweepPoint{Label: fmt.Sprintf("l2-%d", l2), Cfg: cfg})
+		}
+		return points
+	}
+
+	syncOut, err := Sweep(mkPoints(false), "cg", core.PolicyShared, core.PolicyModelBased, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FlushTraceCache()
+	before := TraceCacheStats()
+	pipeOut, err := Sweep(mkPoints(true), "cg", core.PolicyShared, core.PolicyModelBased, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(syncOut, pipeOut) {
+		t.Errorf("pipelined sweep diverged:\nsync: %+v\npipe: %+v", syncOut, pipeOut)
+	}
+	if st := TraceCacheStats(); st.Hits == before.Hits {
+		t.Errorf("sweep cells never shared segments: %+v", st)
+	}
+}
+
+// TestCheckpointResumePipelined extends the checkpoint invariant to
+// pipelined runs, including cross-mode resume: Pipeline is excluded
+// from the config fingerprint because generation is bit-identical, so
+// a checkpoint written synchronously must resume pipelined (and vice
+// versa) to the same Result.
+func TestCheckpointResumePipelined(t *testing.T) {
+	withAsync(t)
+	cfg := ckptTestConfig()
+	const bench = "cg"
+	pol := core.PolicyModelBased
+
+	straight, err := CheckpointedRun(context.Background(), cfg, bench, pol,
+		ByIntervals, CheckpointSpec{}, nil)
+	if err != nil {
+		t.Fatalf("straight run: %v", err)
+	}
+	want, err := json.Marshal(straight.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipeCfg := cfg
+	pipeCfg.Pipeline = true
+	stopErr := errors.New("simulated kill")
+	for _, tc := range []struct {
+		name            string
+		killCfg, resCfg Config
+		killAt          int
+	}{
+		{"pipelined-kill-pipelined-resume", pipeCfg, pipeCfg, 3},
+		{"sync-kill-pipelined-resume", cfg, pipeCfg, 2},
+		{"pipelined-kill-sync-resume", pipeCfg, cfg, 4},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			FlushTraceCache()
+			path := filepath.Join(t.TempDir(), "run.ickp")
+			hook := func(done int) error {
+				if done == tc.killAt {
+					return stopErr
+				}
+				return nil
+			}
+			_, err := CheckpointedRun(context.Background(), tc.killCfg, bench, pol,
+				ByIntervals, CheckpointSpec{Path: path}, hook)
+			if !errors.Is(err, stopErr) {
+				t.Fatalf("interrupted run returned %v, want the stop error", err)
+			}
+			resumed, err := CheckpointedRun(context.Background(), tc.resCfg, bench, pol,
+				ByIntervals, CheckpointSpec{Path: path, Resume: true}, nil)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			got, err := json.Marshal(resumed.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("resume after interval %d diverges from the straight-through run", tc.killAt)
+			}
+		})
+	}
+}

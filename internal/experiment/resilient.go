@@ -16,7 +16,6 @@ import (
 	"intracache/internal/fault"
 	"intracache/internal/sim"
 	"intracache/internal/stats"
-	"intracache/internal/trace"
 	"intracache/internal/workload"
 )
 
@@ -28,7 +27,11 @@ import (
 
 // Fingerprint renders every configuration field that affects simulation
 // output into one canonical string. Checkpoint and journal resume use
-// it to refuse state written under a different setup.
+// it to refuse state written under a different setup. Pipeline and
+// TraceCacheMB are deliberately excluded: pipelined generation is
+// bit-identical to synchronous by construction (pinned by the
+// differential tests), so a run checkpointed in one mode may resume in
+// the other.
 func (c Config) Fingerprint() string {
 	faultDesc := "none"
 	if c.Fault != nil && !c.Fault.IsZero() {
@@ -497,7 +500,9 @@ func CheckpointedRun(ctx context.Context, cfg Config, benchmark string, pol core
 	if err != nil {
 		return Run{}, err
 	}
-	s, err := sim.New(cfg.simParams(pol), trace.Sources(gens), ctl, prof.PhaseFunc(cfg.NumThreads))
+	srcs, closeSrcs := cfg.sources(gens)
+	defer closeSrcs()
+	s, err := sim.New(cfg.simParams(pol), srcs, ctl, prof.PhaseFunc(cfg.NumThreads))
 	if err != nil {
 		return Run{}, err
 	}

@@ -1,0 +1,753 @@
+package trace
+
+// Pipelined trace generation. DESIGN.md §5f measured that the
+// deterministic per-instruction RNG stream is itself the dominant cost
+// of a simulation run (the "RNG floor"), and that floor binds only a
+// single sequential consumer: a thread's instruction stream depends
+// solely on its own generator state and consumption count, never on the
+// scheduler's interleaving. This file exploits that twice:
+//
+//   - Overlap: a per-thread producer goroutine pre-generates bounded
+//     segments of the stream (run-length encoded, like Replayer
+//     records) while the simulator consumes earlier ones, so on a
+//     multi-core host generation and simulation cost max() instead of
+//     sum().
+//   - Amortize: a shared SegmentCache keyed on (ThreadSpec, generator
+//     state) lets runs that consume the same stream — sweep cells over
+//     cache geometry, baseline-vs-candidate policy pairs — replay
+//     segments another run already generated, eliding the RNG floor
+//     entirely on repeated cells.
+//
+// Determinism is preserved exactly, not approximately. Every segment
+// records the full generator state (GenState) it was generated from, so
+// the synchronous generator state at the current consumption point is
+// always reconstructible: restore a scratch generator to the segment's
+// start state and replay the consumed prefix. SourceState() returns
+// that state, byte-identical to what the bare ThreadGen would have
+// reported, which keeps checkpoints interchangeable between pipelined
+// and synchronous runs.
+//
+// The one thing pre-generation cannot know is where the simulator's
+// interval boundaries fall: SetPhase arrives at config-dependent
+// per-thread instruction offsets. The pipeline therefore generates
+// under the current phase and reacts to SetPhase as follows:
+//
+//   - Same scales as the current phase: ThreadGen.SetPhase is
+//     behaviourally a no-op (the samplers rebuild to identical
+//     parameters and consume no randomness), so buffered segments stay
+//     valid. The only exception is a degenerate stride configuration
+//     (StrideBytes larger than the scaled working set) where SetPhase's
+//     stridePos clamp can fire; samePhaseInert detects it and falls
+//     through to the conservative path. Constant-phase workloads
+//     (PhaseConstant profiles) hit this fast path at every interval and
+//     stay fully cacheable.
+//   - Changed scales: the stream ahead genuinely depends on this run's
+//     configuration. The pipeline computes the exact synchronous state
+//     at the consumption point, discards buffered data, applies the
+//     phase to the real generator, and — if attached to the shared
+//     cache — detaches permanently (the cache bypass): from the first
+//     behaviour-changing SetPhase onward the stream is config-specific
+//     and must not be shared.
+//
+// When GOMAXPROCS==1 or PipelineConfig.Sync is set, no goroutine is
+// spawned: cache-backed runs fetch/generate segments inline, and
+// cacheless runs degrade to direct ThreadGen delegation (a true
+// synchronous fallback with zero overhead).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"intracache/internal/xrand"
+)
+
+// segment is a run-length-encoded slice of one thread's stream: exactly
+// n instructions generated from the start state under a fixed phase.
+// Segments are immutable once built, so the producer goroutine, its
+// consumer, and any number of cache-sharing runs may hold them at once.
+type segment struct {
+	start   GenState       // generator state the segment was generated from
+	end     GenState       // generator state after the last instruction
+	recs    []replayRecord // memory accesses, each preceded by a non-memory gap
+	tailGap uint64         // trailing non-memory instructions after the last access
+	n       uint64         // total instructions
+}
+
+// memBytes approximates the segment's resident size for cache budgeting.
+func (s *segment) memBytes() int64 {
+	return int64(len(s.recs))*24 + 160
+}
+
+// genSegment consumes n instructions from g into a fresh segment.
+func genSegment(g *ThreadGen, n uint64) *segment {
+	seg := &segment{n: n, start: *g.SourceState().Gen}
+	left := n
+	for left > 0 {
+		nonMem, in := g.NextRun(left)
+		if in.IsMem {
+			seg.recs = append(seg.recs, replayRecord{gap: nonMem, addr: in.Addr, write: in.Write})
+			left -= nonMem + 1
+		} else {
+			// The run was cut by left, so this is the segment's tail.
+			seg.tailGap += nonMem
+			left -= nonMem
+		}
+	}
+	seg.end = *g.SourceState().Gen
+	return seg
+}
+
+// segKey identifies one shareable stream prefix: the thread's spec plus
+// the full generator state at the point the run attached. Two runs with
+// the same workload, seed and thread index produce identical keys (the
+// workload layer derives per-thread RNGs deterministically), while any
+// difference in spec, seed or initial phase yields a different key.
+// Both component types are flat value structs, so the key is directly
+// comparable and needs no serialization.
+type segKey struct {
+	spec  ThreadSpec
+	start GenState
+}
+
+// cacheEntry is the segments generated so far for one key, plus the
+// generator state at the frontier (end of the last segment) so any
+// attached run can extend it.
+type cacheEntry struct {
+	key     segKey
+	segs    []*segment
+	end     GenState // state after segs[len-1]; key.start when empty
+	bytes   int64
+	refs    int
+	lastUse uint64
+	full    bool // budget exhausted: entry no longer grows
+}
+
+// CacheStats reports SegmentCache counters for observability and tests.
+type CacheStats struct {
+	Entries int
+	Bytes   int64
+	// Hits counts segments served from the cache; Misses counts
+	// segments generated by an attached run (published when the budget
+	// allowed).
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries dropped to fit the budget. Detaches
+	// counts runs that left the cache because a SetPhase changed their
+	// stream (the config-dependence bypass).
+	Evictions uint64
+	Detaches  uint64
+}
+
+// SegmentCache shares generated segments between pipelined runs. All
+// methods are safe for concurrent use; segments are immutable and
+// published under the cache lock, generation happens outside it.
+type SegmentCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	clock   uint64
+	entries map[segKey]*cacheEntry
+
+	hits, misses, evictions, detaches uint64
+}
+
+// NewSegmentCache creates a cache bounded to budgetBytes of segment
+// data. When the budget is exceeded, unreferenced entries are evicted
+// least-recently-used first; if every entry is in use the growing entry
+// simply stops caching (its runs keep generating privately).
+func NewSegmentCache(budgetBytes int64) *SegmentCache {
+	return &SegmentCache{budget: budgetBytes, entries: make(map[segKey]*cacheEntry)}
+}
+
+// SetBudget adjusts the byte budget (effective at the next publish).
+func (c *SegmentCache) SetBudget(bytes int64) {
+	c.mu.Lock()
+	c.budget = bytes
+	c.mu.Unlock()
+}
+
+// Flush drops every entry (attached runs detach lazily: their entry
+// pointer keeps its segments alive until they release it, but no new
+// run will find it). Counters are preserved.
+func (c *SegmentCache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[segKey]*cacheEntry)
+	c.used = 0
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SegmentCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.used,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Detaches:  c.detaches,
+	}
+}
+
+// attach registers a run on the entry for key, creating it if needed.
+func (c *SegmentCache) attach(spec ThreadSpec, start GenState) *cacheEntry {
+	key := segKey{spec: spec, start: start}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{key: key, end: start}
+		c.entries[key] = e
+	}
+	e.refs++
+	c.clock++
+	e.lastUse = c.clock
+	return e
+}
+
+// release drops a run's reference; unreferenced entries stay cached
+// (that is the point — the next cell reuses them) until evicted.
+func (c *SegmentCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	c.mu.Unlock()
+}
+
+// detach is release plus the bypass counter, for runs whose stream
+// became config-dependent through a phase change.
+func (c *SegmentCache) detach(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	c.detaches++
+	c.mu.Unlock()
+}
+
+// fetch returns segment k if it exists; otherwise atFrontier reports
+// whether k is the next segment to be generated and frontier is the
+// generator state to generate it from.
+func (c *SegmentCache) fetch(e *cacheEntry, k int) (seg *segment, frontier GenState, atFrontier bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	e.lastUse = c.clock
+	if k < len(e.segs) {
+		c.hits++
+		return e.segs[k], GenState{}, false
+	}
+	if k > len(e.segs) {
+		// Unreachable by construction: runs consume sequentially from 0,
+		// so the first miss is always the next ungenerated position.
+		panic(fmt.Sprintf("trace: pipeline fetch at %d past cache frontier %d", k, len(e.segs)))
+	}
+	return nil, e.end, !e.full
+}
+
+// publish offers a freshly generated segment as entry position k.
+// It returns the canonical segment for k — the existing one if another
+// run raced ahead (identical content by determinism) — and whether the
+// entry is still caching. ok=false means the budget is exhausted with
+// every entry referenced: the caller should release the entry and
+// continue privately.
+func (c *SegmentCache) publish(e *cacheEntry, k int, seg *segment) (canon *segment, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++
+	if k < len(e.segs) {
+		return e.segs[k], true
+	}
+	if e.full || k > len(e.segs) {
+		return seg, !e.full
+	}
+	sz := seg.memBytes()
+	if c.used+sz > c.budget {
+		c.evictLocked(c.used + sz - c.budget)
+	}
+	if c.used+sz > c.budget {
+		e.full = true
+		return seg, false
+	}
+	e.segs = append(e.segs, seg)
+	e.end = seg.end
+	e.bytes += sz
+	c.used += sz
+	return seg, true
+}
+
+// evictLocked frees at least need bytes by dropping unreferenced
+// entries, least recently used first. Caller holds c.mu.
+func (c *SegmentCache) evictLocked(need int64) {
+	for need > 0 {
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if e.refs > 0 || len(e.segs) == 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.used -= victim.bytes
+		need -= victim.bytes
+		c.evictions++
+	}
+}
+
+// PipelineConfig parameterises a Pipelined source.
+type PipelineConfig struct {
+	// SegmentInstructions is the generation chunk size. Smaller segments
+	// bound the rollback-replay cost a behaviour-changing SetPhase pays
+	// (at most one segment's prefix is regenerated); larger ones
+	// amortise handoff overhead. 0 means the default (8192).
+	SegmentInstructions uint64
+	// Depth is how many segments the producer goroutine may run ahead
+	// of the consumer (the ring-buffer bound). 0 means the default (4).
+	Depth int
+	// Sync disables the producer goroutine: segments are fetched or
+	// generated inline, and without a cache the source degrades to
+	// direct generator delegation. Implied when GOMAXPROCS==1, where a
+	// producer goroutine could only time-slice against its consumer.
+	Sync bool
+	// Cache, when non-nil, shares segments with other runs (see
+	// SegmentCache). Nil gives pure overlap with private segments.
+	Cache *SegmentCache
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.SegmentInstructions == 0 {
+		c.SegmentInstructions = 8192
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		c.Sync = true
+	}
+	return c
+}
+
+// producer is the goroutine half of an async Pipelined: it owns the
+// underlying generator while running and hands segments over out.
+type producer struct {
+	out  chan *segment
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Pipelined wraps a ThreadGen behind the pipeline described in the file
+// comment. It implements RunSource and StatefulSource, so it drops into
+// the simulator anywhere a bare generator does; Close must be called
+// when the run ends to stop the producer and release the cache entry.
+// Like ThreadGen, a Pipelined is owned by one simulated thread and its
+// methods must not be called concurrently.
+type Pipelined struct {
+	gen     *ThreadGen
+	scratch *ThreadGen // lazily built; replays prefixes for state accounting
+	cfg     PipelineConfig
+
+	ws, str float64 // current phase, clamped like ThreadGen.SetPhase
+
+	cache    *SegmentCache
+	entry    *cacheEntry
+	cacheOff bool // permanently private (post-restore or post-flush-detach)
+	bypassed bool // left the cache on a behaviour-changing SetPhase
+
+	// Consumer cursor over cur. inGap counts consumed instructions of
+	// the current gap (record gap, or tail gap once pos == len(recs)).
+	cur     *segment
+	pos     int
+	inGap   uint64
+	inSeg   uint64
+	nextSeg int // stream index of the next segment to consume
+
+	// genAt is the segment index the generator is positioned at (its
+	// state equals that segment's start). Only meaningful while
+	// attached; -1 marks "unknown, restore before generating".
+	genAt int
+
+	prod    *producer
+	started bool
+	direct  bool // synchronous fallback: delegate straight to gen
+	closed  bool
+}
+
+// NewPipelined wraps gen. The caller must not use gen directly
+// afterwards (the pipeline owns its state); all consumption, phase
+// changes and checkpointing go through the Pipelined.
+func NewPipelined(gen *ThreadGen, cfg PipelineConfig) *Pipelined {
+	cfg = cfg.withDefaults()
+	p := &Pipelined{gen: gen, cfg: cfg, cache: cfg.Cache}
+	p.ws, p.str = gen.Phase()
+	if cfg.Sync && cfg.Cache == nil {
+		// Nothing to buffer and nobody to share with: the synchronous
+		// fallback is the generator itself.
+		p.direct = true
+	}
+	return p
+}
+
+var (
+	_ RunSource      = (*Pipelined)(nil)
+	_ StatefulSource = (*Pipelined)(nil)
+)
+
+// Bypassed reports whether the run detached from the segment cache
+// because a SetPhase made its stream config-dependent.
+func (p *Pipelined) Bypassed() bool { return p.bypassed }
+
+// Spec returns the underlying generator's spec.
+func (p *Pipelined) Spec() ThreadSpec { return p.gen.Spec() }
+
+// Next implements Source.
+func (p *Pipelined) Next() Instr {
+	if p.direct {
+		return p.gen.Next()
+	}
+	_, in := p.NextRun(1)
+	if in.IsMem {
+		return in
+	}
+	return Instr{}
+}
+
+// NextRun implements RunSource with the same contract as ThreadGen:
+// the emitted stream, and the state SourceState reports, are
+// bit-identical to the wrapped generator consumed synchronously.
+func (p *Pipelined) NextRun(max uint64) (nonMem uint64, in Instr) {
+	if p.direct {
+		return p.gen.NextRun(max)
+	}
+	for nonMem < max {
+		if p.cur == nil || p.inSeg == p.cur.n {
+			p.advanceSegment()
+			if p.direct {
+				n2, in2 := p.gen.NextRun(max - nonMem)
+				return nonMem + n2, in2
+			}
+		}
+		seg := p.cur
+		if p.pos >= len(seg.recs) {
+			take := seg.tailGap - p.inGap
+			if take > max-nonMem {
+				take = max - nonMem
+			}
+			p.inGap += take
+			p.inSeg += take
+			nonMem += take
+			continue
+		}
+		rec := &seg.recs[p.pos]
+		if p.inGap < rec.gap {
+			take := rec.gap - p.inGap
+			if take > max-nonMem {
+				take = max - nonMem
+			}
+			p.inGap += take
+			p.inSeg += take
+			nonMem += take
+			continue
+		}
+		p.inGap = 0
+		p.pos++
+		p.inSeg++
+		return nonMem, Instr{IsMem: true, Write: rec.write, Addr: rec.addr}
+	}
+	return nonMem, Instr{}
+}
+
+// SetPhase implements Source. Same-phase calls that are provably inert
+// keep the buffered stream (and the cache attachment); anything else
+// rolls back to the exact synchronous state, applies the phase, and
+// regenerates from there — detaching from the cache, since the stream
+// ahead now depends on when this run's intervals end.
+func (p *Pipelined) SetPhase(wsScale, streamScale float64) {
+	if p.direct {
+		p.gen.SetPhase(wsScale, streamScale)
+		p.ws, p.str = p.gen.Phase()
+		return
+	}
+	if !p.started {
+		// Nothing buffered yet; the generator is at the consumption
+		// point, so this is an ordinary synchronous SetPhase.
+		p.gen.SetPhase(wsScale, streamScale)
+		p.ws, p.str = p.gen.Phase()
+		return
+	}
+	cw := clamp(wsScale, 0.05, 20)
+	cs := clamp(streamScale, 0, 20)
+	if cw == p.ws && cs == p.str && p.samePhaseInert() {
+		return
+	}
+	p.rephase(wsScale, streamScale)
+}
+
+// samePhaseInert reports whether re-applying the current phase is a
+// guaranteed behavioural no-op. ThreadGen.SetPhase with unchanged
+// scales rebuilds identical samplers and draws no randomness; the only
+// state it can touch is the stridePos clamp, which cannot fire while
+// stridePos < wsBytes — an invariant the stride walk maintains whenever
+// StrideBytes <= wsBytes. The degenerate opposite case (a stride longer
+// than the scaled working set) conservatively reports false.
+func (p *Pipelined) samePhaseInert() bool {
+	spec := p.gen.Spec()
+	if spec.StrideWeight == 0 {
+		return true
+	}
+	ws := uint64(float64(spec.PrivateBytes) * p.ws)
+	if ws < uint64(spec.LineBytes) {
+		ws = uint64(spec.LineBytes)
+	}
+	return uint64(spec.StrideBytes) <= ws
+}
+
+// syncState reconstructs the synchronous generator state at the current
+// consumption point. With nothing buffered the generator is already
+// there; otherwise a scratch generator replays the consumed prefix of
+// the current segment from its recorded start state.
+func (p *Pipelined) syncState() GenState {
+	if p.direct || p.cur == nil {
+		return *p.gen.SourceState().Gen
+	}
+	if p.inSeg == 0 {
+		return p.cur.start
+	}
+	if p.inSeg == p.cur.n {
+		return p.cur.end
+	}
+	if p.scratch == nil {
+		g, err := NewThread(p.gen.Spec(), xrand.New(1))
+		if err != nil {
+			// The wrapped generator was built from this spec, so it
+			// validated once already.
+			panic(fmt.Sprintf("trace: pipeline scratch generator: %v", err))
+		}
+		p.scratch = g
+	}
+	st := p.cur.start
+	if err := p.scratch.RestoreSourceState(SourceState{Gen: &st}); err != nil {
+		panic(fmt.Sprintf("trace: pipeline rollback restore: %v", err))
+	}
+	left := p.inSeg
+	for left > 0 {
+		nonMem, in := p.scratch.NextRun(left)
+		left -= nonMem
+		if in.IsMem {
+			left--
+		}
+	}
+	return *p.scratch.SourceState().Gen
+}
+
+// rephase moves the real generator to the consumption point, applies
+// the new phase there, and drops all buffered stream data. If the run
+// was sharing the cache it detaches for good: everything it generates
+// from here on is specific to this run's interval schedule.
+func (p *Pipelined) rephase(wsScale, streamScale float64) {
+	p.stopProducer()
+	st := p.syncState()
+	p.cur = nil
+	p.pos, p.inGap, p.inSeg = 0, 0, 0
+	if p.entry != nil {
+		p.cache.detach(p.entry)
+		p.entry = nil
+		p.bypassed = true
+	}
+	p.cacheOff = true
+	if err := p.gen.RestoreSourceState(SourceState{Gen: &st}); err != nil {
+		panic(fmt.Sprintf("trace: pipeline rephase restore: %v", err))
+	}
+	p.gen.SetPhase(wsScale, streamScale)
+	p.ws, p.str = p.gen.Phase()
+	if p.cfg.Sync {
+		// Synchronous and private: direct delegation from here on.
+		p.direct = true
+	}
+	// Async: the producer restarts lazily (privately) on the next fetch.
+}
+
+// SourceState implements StatefulSource. The returned snapshot is
+// byte-identical to what the wrapped generator would report if it had
+// been consumed synchronously to the same point, so checkpoints written
+// by pipelined and synchronous runs are interchangeable.
+func (p *Pipelined) SourceState() SourceState {
+	st := p.syncState()
+	return SourceState{Gen: &st}
+}
+
+// RestoreSourceState implements StatefulSource. The resumed run stays
+// private (no cache attachment): a mid-stream state is a poor sharing
+// key, and resumed runs are rare enough that correctness-by-simplicity
+// wins. Overlap still applies in async mode.
+func (p *Pipelined) RestoreSourceState(st SourceState) error {
+	if st.Gen == nil {
+		return fmt.Errorf("trace: state is not a generator snapshot")
+	}
+	p.stopProducer()
+	if p.entry != nil {
+		p.cache.release(p.entry)
+		p.entry = nil
+	}
+	p.cur = nil
+	p.pos, p.inGap, p.inSeg = 0, 0, 0
+	p.nextSeg = 0
+	p.started = false
+	p.cacheOff = true
+	if err := p.gen.RestoreSourceState(st); err != nil {
+		return err
+	}
+	p.ws, p.str = p.gen.Phase()
+	if p.cfg.Sync {
+		p.direct = true
+	}
+	return nil
+}
+
+// Close stops the producer and releases the cache entry. The source
+// must not be used afterwards. Closing twice is harmless.
+func (p *Pipelined) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.stopProducer()
+	if p.entry != nil {
+		p.cache.release(p.entry)
+		p.entry = nil
+	}
+}
+
+// start pins the attachment point: the first fetch keys the cache entry
+// on the generator's current full state (spec, RNG, cursors, phase).
+func (p *Pipelined) start() {
+	p.started = true
+	p.genAt = 0
+	if p.cache != nil && !p.cacheOff {
+		p.entry = p.cache.attach(p.gen.Spec(), *p.gen.SourceState().Gen)
+	}
+}
+
+// advanceSegment makes cur the next segment of the stream, or flips to
+// direct delegation when there is nothing left to buffer (synchronous
+// mode with no cache to serve from).
+func (p *Pipelined) advanceSegment() {
+	if !p.started {
+		p.start()
+	}
+	if p.cfg.Sync {
+		if p.entry == nil {
+			// Private synchronous: the generator sits at the consumption
+			// point (it generated every segment consumed so far, and the
+			// cursor is at a segment boundary), so delegate directly.
+			p.direct = true
+			p.cur = nil
+			p.pos, p.inGap, p.inSeg = 0, 0, 0
+			return
+		}
+		p.setCur(p.produceOne(p.nextSeg))
+		return
+	}
+	if p.prod == nil {
+		p.startProducer()
+	}
+	p.setCur(<-p.prod.out)
+}
+
+func (p *Pipelined) setCur(seg *segment) {
+	p.cur = seg
+	p.pos, p.inGap, p.inSeg = 0, 0, 0
+	p.nextSeg++
+}
+
+// produceOne returns stream segment k: from the cache when present,
+// otherwise by generating at the frontier (publishing when the budget
+// allows). Called by the consumer in Sync mode and by the producer
+// goroutine otherwise — never both at once.
+func (p *Pipelined) produceOne(k int) *segment {
+	if p.entry != nil {
+		seg, frontier, atFrontier := p.cache.fetch(p.entry, k)
+		if seg != nil {
+			return seg
+		}
+		// Position the generator at the frontier (== the start of
+		// segment k: we consume sequentially, so a miss is always the
+		// next ungenerated position) unless it is already there from
+		// generating segment k-1.
+		if p.genAt != k {
+			if err := p.gen.RestoreSourceState(SourceState{Gen: &frontier}); err != nil {
+				panic(fmt.Sprintf("trace: pipeline frontier restore: %v", err))
+			}
+			p.genAt = k
+		}
+		if !atFrontier {
+			// The entry stopped growing under budget pressure; continue
+			// privately from the frontier.
+			p.cache.release(p.entry)
+			p.entry = nil
+		} else {
+			seg = genSegment(p.gen, p.cfg.SegmentInstructions)
+			p.genAt = k + 1
+			canon, ok := p.cache.publish(p.entry, k, seg)
+			if !ok {
+				p.cache.release(p.entry)
+				p.entry = nil
+			}
+			return canon
+		}
+	}
+	// Private: the generator is at the consumption frontier.
+	return genSegment(p.gen, p.cfg.SegmentInstructions)
+}
+
+// startProducer spawns the goroutine that pre-generates segments. While
+// it runs it owns p.gen, p.genAt and p.entry; the consumer regains them
+// only through stopProducer's handshake.
+func (p *Pipelined) startProducer() {
+	pr := &producer{
+		out:  make(chan *segment, p.cfg.Depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.prod = pr
+	k := p.nextSeg
+	go func() {
+		defer close(pr.done)
+		for {
+			select {
+			case <-pr.stop:
+				return
+			default:
+			}
+			seg := p.produceOne(k)
+			select {
+			case pr.out <- seg:
+				k++
+			case <-pr.stop:
+				return
+			}
+		}
+	}()
+}
+
+// stopProducer halts the producer goroutine and discards any buffered
+// segments beyond the consumption point (they are regenerated after a
+// rollback, or simply dropped on Close). Pending cache publications are
+// harmless: published segments are canonical stream data either way.
+func (p *Pipelined) stopProducer() {
+	if p.prod == nil {
+		return
+	}
+	close(p.prod.stop)
+	for {
+		select {
+		case <-p.prod.out:
+		case <-p.prod.done:
+			p.prod = nil
+			return
+		}
+	}
+}

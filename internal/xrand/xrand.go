@@ -71,6 +71,38 @@ func (r *Rand) Restore(s [4]uint64) error {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// jumpPoly is the xoshiro256 jump polynomial: the GF(2) coefficients of
+// T^(2^128) expressed in powers of the state-transition matrix T (the
+// linear update Uint64 applies). XOR-accumulating the state at each set
+// bit while stepping the generator — the standard xoshiro jump
+// algorithm — computes T^(2^128)·state, i.e. advances the stream by
+// exactly 2^128 draws. The constants are the published xoshiro256
+// values; TestJumpMatchesMatrixPower re-derives them independently by
+// squaring the 256×256 bit matrix of T 128 times.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances the generator by 2^128 Uint64 calls in O(256) steps.
+// Repeated Jumps partition one seed's period (2^256-1) into 2^128
+// non-overlapping blocks of 2^128 draws, so a single logical stream can
+// be generated in parallel chunks: give worker k a copy of the base
+// generator jumped k times and the concatenated outputs equal the
+// sequential stream's blocks.
+func (r *Rand) Jump() {
+	var s [4]uint64
+	for _, coeff := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if coeff&(1<<uint(b)) != 0 {
+				s[0] ^= r.s[0]
+				s[1] ^= r.s[1]
+				s[2] ^= r.s[2]
+				s[3] ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 uniformly-distributed random bits.
 func (r *Rand) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
@@ -195,7 +227,25 @@ type zipfTables struct {
 // pairs, so the (deterministic) tables are worth sharing: the map stays
 // tiny while the math.Pow construction cost is paid once per pair
 // instead of once per interval per thread.
+//
+// Lifetime: the map is unbounded and process-lived — every distinct
+// (n, alpha) pair ever sampled stays resident (~20 bytes per rank, so
+// ~10 KiB per 512-bucket table). The figure suite cycles through a few
+// dozen pairs and the map stays small, but a long-running process
+// sweeping many distinct working-set geometries accumulates one table
+// per pair; call PurgeZipfCache between sweeps to release them.
 var zipfCache sync.Map // zipfKey -> *zipfTables
+
+// PurgeZipfCache drops every memoized Zipf table. Existing samplers are
+// unaffected — they hold direct references to their (immutable) tables
+// — and subsequent NewZipf calls simply rebuild and re-memoize. Safe to
+// call concurrently with sampling.
+func PurgeZipfCache() {
+	zipfCache.Range(func(key, _ any) bool {
+		zipfCache.Delete(key)
+		return true
+	})
+}
 
 // NewZipf builds a Zipf sampler over n ranks with exponent alpha >= 0.
 // alpha == 0 degenerates to the uniform distribution.
