@@ -9,6 +9,7 @@ package intracache
 // numbers alongside the usual time/allocation costs.
 
 import (
+	"context"
 	"testing"
 
 	"intracache/internal/core"
@@ -239,6 +240,26 @@ func BenchmarkFig19VsPrivate(b *testing.B) {
 	reportComparison(b, cs)
 }
 
+// BenchmarkFig19Parallel is BenchmarkFig19VsPrivate with each thread's
+// trace generated on a 4-goroutine substream worker pool. Results are
+// byte-identical to the sequential figure, so the pair measures the
+// parallel-generation speedup on this machine (the shared trace cache
+// is flushed every iteration to time cold generation, not replay).
+func BenchmarkFig19Parallel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.ParallelGen = 4
+	var cs []experiment.Comparison
+	for i := 0; i < b.N; i++ {
+		experiment.FlushTraceCache()
+		var err error
+		cs, err = experiment.Fig19VsPrivate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportComparison(b, cs)
+}
+
 func BenchmarkFig20VsShared(b *testing.B) {
 	cfg := benchCfg()
 	var cs []experiment.Comparison
@@ -316,6 +337,22 @@ func BenchmarkSweepPipelined(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiment.FlushTraceCache()
 		if _, err := experiment.Sweep(points, "cg", core.PolicyShared, core.PolicyModelBased, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSharded times the same sweep with every cell's runs
+// split into 4 time shards simulated in parallel. Sharding changes the
+// cells' Results (each shard starts from a synthesized cold state), so
+// this is a throughput benchmark of the sharded driver, not a
+// differential check — those live in internal/experiment/shard_test.go.
+func BenchmarkSweepSharded(b *testing.B) {
+	points := sweepBenchPoints(false)
+	opts := experiment.SweepOptions{Workers: 2, Shards: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SweepJournaled(context.Background(), points, "cg",
+			core.PolicyShared, core.PolicyModelBased, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

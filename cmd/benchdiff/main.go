@@ -75,10 +75,14 @@ func main() {
 	}
 }
 
-// benchResult is one benchmark's recorded cost.
+// benchResult is one benchmark's recorded cost. Procs is the
+// GOMAXPROCS the run used (the benchmark name's -N suffix; 0 when the
+// suffix was absent): parallel benchmarks scale with it, so ns/op from
+// different Procs are flagged as not directly comparable.
 type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	Procs       int     `json:"procs,omitempty"`
 }
 
 // baseline is the committed BENCH_baseline.json shape. GoVersion and
@@ -133,6 +137,11 @@ type row struct {
 	CurNs      float64
 	Ratio      float64
 	AllocDelta float64
+	// BaseProcs/CurProcs record each side's GOMAXPROCS; a mismatch is
+	// noted in the report (the ratio still counts toward the geomean —
+	// the note exists so a surprising ratio is attributable).
+	BaseProcs int
+	CurProcs  int
 }
 
 func compare(base, cur map[string]benchResult, threshold float64) (*report, error) {
@@ -155,6 +164,8 @@ func compare(base, cur map[string]benchResult, threshold float64) (*report, erro
 			CurNs:      c.NsPerOp,
 			Ratio:      ratio,
 			AllocDelta: c.AllocsPerOp - b.AllocsPerOp,
+			BaseProcs:  b.Procs,
+			CurProcs:   c.Procs,
 		})
 	}
 	for name := range cur {
@@ -177,10 +188,17 @@ func compare(base, cur map[string]benchResult, threshold float64) (*report, erro
 
 func (r *report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "Δallocs")
+	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %8s %6s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "Δallocs", "procs")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %7.3fx %8.0f\n",
-			row.Name, row.BaseNs, row.CurNs, row.Ratio, row.AllocDelta)
+		procs := procsLabel(row.BaseProcs, row.CurProcs)
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %7.3fx %8.0f %6s\n",
+			row.Name, row.BaseNs, row.CurNs, row.Ratio, row.AllocDelta, procs)
+	}
+	for _, row := range r.Rows {
+		if row.BaseProcs != 0 && row.CurProcs != 0 && row.BaseProcs != row.CurProcs {
+			fmt.Fprintf(&sb, "note: %s: baseline recorded at GOMAXPROCS=%d but this run used %d — its ratio is not core-for-core comparable\n",
+				row.Name, row.BaseProcs, row.CurProcs)
+		}
 	}
 	for _, n := range r.OnlyBase {
 		fmt.Fprintf(&sb, "FAIL: %s is in the baseline but was not run (remove it with -update if intentional)\n", n)
@@ -195,6 +213,23 @@ func (r *report) String() string {
 	fmt.Fprintf(&sb, "geomean ratio %.3fx over %d benchmarks (threshold %.3fx): %s\n",
 		r.Geomean, len(r.Rows), 1+r.Threshold, verdict)
 	return sb.String()
+}
+
+// procsLabel renders a row's GOMAXPROCS column: one number when both
+// sides agree (or only one side recorded it), "b→c" on a mismatch.
+func procsLabel(base, cur int) string {
+	switch {
+	case base == cur && base == 0:
+		return "-"
+	case base == cur:
+		return fmt.Sprintf("%d", base)
+	case base == 0:
+		return fmt.Sprintf("?→%d", cur)
+	case cur == 0:
+		return fmt.Sprintf("%d→?", base)
+	default:
+		return fmt.Sprintf("%d→%d", base, cur)
+	}
 }
 
 func fatal(err error) {

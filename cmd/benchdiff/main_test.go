@@ -24,8 +24,8 @@ func TestParseBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]benchResult{
-		"BenchmarkFig19VsPrivate": {NsPerOp: 2694531000, AllocsPerOp: 3},
-		"BenchmarkFig20VsShared":  {NsPerOp: 2326118000, AllocsPerOp: 2},
+		"BenchmarkFig19VsPrivate": {NsPerOp: 2694531000, AllocsPerOp: 3, Procs: 4},
+		"BenchmarkFig20VsShared":  {NsPerOp: 2326118000, AllocsPerOp: 2, Procs: 4},
 		"BenchmarkFig02Config":    {NsPerOp: 231.5, AllocsPerOp: 0},
 	}
 	if len(got) != len(want) {
@@ -154,6 +154,34 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 	if rep.Failed {
 		t.Error("gate failed with all baseline benchmarks present at parity")
+	}
+}
+
+// TestCompareNotesProcsMismatch: a baseline recorded on a different
+// core count is flagged (parallel benchmarks scale with GOMAXPROCS),
+// but the note alone never fails the gate.
+func TestCompareNotesProcsMismatch(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1000, Procs: 8},
+		"BenchmarkB": {NsPerOp: 1000, Procs: 8},
+	}
+	cur := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 1000, Procs: 4},
+		"BenchmarkB": {NsPerOp: 1000, Procs: 8},
+	}
+	rep, err := compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Errorf("procs mismatch alone failed the gate: %+v", rep)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "BenchmarkA: baseline recorded at GOMAXPROCS=8 but this run used 4") {
+		t.Errorf("report does not note the procs mismatch:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkB: baseline recorded") {
+		t.Errorf("matching procs wrongly flagged:\n%s", out)
 	}
 }
 

@@ -14,8 +14,11 @@ import (
 //	BenchmarkFig19VsPrivate-4   1   2694531000 ns/op   54.72 missRed%   128 B/op   3 allocs/op
 //
 // i.e. name, iteration count, then (value, unit) pairs. The -N
-// GOMAXPROCS suffix is stripped so baselines stay comparable across
-// machines, and custom b.ReportMetric units are ignored. Duplicate
+// GOMAXPROCS suffix is stripped from the key so baselines stay
+// comparable across machines, but N is kept as the result's Procs:
+// parallel benchmarks scale with the core count, so a comparison
+// against a baseline recorded at a different GOMAXPROCS is noted in
+// the report. Custom b.ReportMetric units are ignored. Duplicate
 // names (e.g. -count > 1) keep the fastest run, the usual benchstat
 // convention for reducing noise.
 func parseBench(r io.Reader) (map[string]benchResult, error) {
@@ -28,12 +31,13 @@ func parseBench(r io.Reader) (map[string]benchResult, error) {
 			continue
 		}
 		name := f[0]
+		var res benchResult
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				res.Procs = n
 			}
 		}
-		var res benchResult
 		sawNs := false
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)

@@ -49,6 +49,9 @@ func main() {
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
 	pipeline := flag.Bool("pipeline", false, "pipelined trace generation: overlap generation with simulation (bit-identical results)")
+	parallelGen := flag.Int("parallel-gen", 0, "generate each thread's trace on this many goroutines (bit-identical results; implies -pipeline)")
+	shards := flag.Int("shards", 0, "split the run into this many time shards simulated in parallel (changes results; 0/1 = off)")
+	shardWorkers := flag.Int("shard-workers", 0, "worker pool for -shards (0 = one per shard; never changes results)")
 	traceCacheMB := flag.Int("trace-cache-mb", 0, "segment-cache budget in MiB for -pipeline (0 = default 256, negative = no sharing)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
@@ -104,6 +107,7 @@ func main() {
 		cfg.Fault = &plan
 	}
 	cfg.Pipeline = *pipeline
+	cfg.ParallelGen = *parallelGen
 	cfg.TraceCacheMB = *traceCacheMB
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
@@ -113,11 +117,21 @@ func main() {
 	// -checkpoint set, the stop state is saved there for -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	run, err := intracache.SimulateCheckpointed(ctx, cfg, *bench, pol, mode, intracache.CheckpointSpec{
+	ckpt := intracache.CheckpointSpec{
 		Path:   *ckptPath,
 		Every:  *ckptEvery,
 		Resume: *resumeRun,
-	})
+	}
+	var run intracache.Run
+	if *shards > 1 {
+		run, err = intracache.SimulateSharded(ctx, cfg, *bench, pol, mode, intracache.ShardSpec{
+			Shards:     *shards,
+			Workers:    *shardWorkers,
+			Checkpoint: ckpt,
+		})
+	} else {
+		run, err = intracache.SimulateCheckpointed(ctx, cfg, *bench, pol, mode, ckpt)
+	}
 	if errors.Is(err, context.Canceled) {
 		if *ckptPath != "" {
 			fmt.Fprintf(os.Stderr, "intracache: interrupted after %d intervals; state saved to %s — rerun with -resume to continue\n",

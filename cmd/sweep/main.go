@@ -34,6 +34,7 @@ import (
 	"intracache/internal/fault"
 	"intracache/internal/profiling"
 	"intracache/internal/report"
+	"intracache/internal/trace"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func main() {
 	faultDelay := flag.Int("fault-delay", 0, "repartition decisions applied this many intervals late")
 	faultStall := flag.Float64("fault-stall", 0, "per-thread probability of a transient apparent stall")
 	pipeline := flag.Bool("pipeline", false, "pipelined trace generation: sweep cells share generated segments (bit-identical results)")
+	parallelGen := flag.Int("parallel-gen", 0, "generate each thread's trace on this many goroutines per run (bit-identical results; implies -pipeline)")
+	shards := flag.Int("shards", 0, "time-shard each cell's runs into this many parallel shards (changes results and the resume journal identity; 0/1 = off)")
 	traceCacheMB := flag.Int("trace-cache-mb", 0, "segment-cache budget in MiB for -pipeline (0 = default 256, negative = no sharing)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
@@ -88,6 +91,7 @@ func main() {
 		cfg.Fault = &plan
 	}
 	cfg.Pipeline = *pipeline
+	cfg.ParallelGen = *parallelGen
 	cfg.TraceCacheMB = *traceCacheMB
 
 	// A first ctrl-C / SIGTERM cancels the sweep: no new cells start,
@@ -98,6 +102,7 @@ func main() {
 
 	opts := experiment.SweepOptions{
 		Workers: *workers,
+		Shards:  *shards,
 		Cell: experiment.CellOptions{
 			Timeout:      *cellTimeout,
 			StallTimeout: *stallTimeout,
@@ -157,8 +162,9 @@ func main() {
 		reportInterrupted(err, opts.JournalPath)
 		fatal(err)
 	}
+	cacheStats := experiment.TraceCacheStats()
 	if *outPath != "" {
-		if err := report.SaveJSON(*outPath, results); err != nil {
+		if err := report.SaveJSON(*outPath, sweepOutput{Results: results, TraceCache: cacheStats}); err != nil {
 			fatal(err)
 		}
 	}
@@ -166,7 +172,7 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(sweepOutput{Results: results, TraceCache: cacheStats}); err != nil {
 			fatal(err)
 		}
 		return
@@ -186,6 +192,31 @@ func main() {
 		t.AddRow(label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
 	}
 	fmt.Print(t.String())
+	printTraceCacheSummary(cacheStats)
+}
+
+// sweepOutput is the -out / -json payload: the per-point results plus
+// the shared trace cache's counters (all zero when -pipeline was off).
+type sweepOutput struct {
+	Results    []experiment.SweepResult
+	TraceCache trace.CacheStats
+}
+
+// printTraceCacheSummary appends the shared trace cache's counters to
+// the human-readable report when pipelining put anything through it.
+func printTraceCacheSummary(st trace.CacheStats) {
+	if st.Hits == 0 && st.Misses == 0 && st.Detaches == 0 {
+		return
+	}
+	total := st.Hits + st.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(st.Hits) / float64(total)
+	}
+	fmt.Printf("\ntrace cache: %d/%d segments served from cache (%.1f%%), "+
+		"%d generated, %d detaches, %d evictions, %d entries / %.1f MiB resident\n",
+		st.Hits, total, pct, st.Misses, st.Detaches, st.Evictions,
+		st.Entries, float64(st.Bytes)/(1<<20))
 }
 
 // reportInterrupted tells the user how to pick the sweep back up when

@@ -67,6 +67,12 @@ type Config struct {
 	// (256 MiB); negative disables sharing (pure overlap, private
 	// segments). Ignored unless Pipeline is set.
 	TraceCacheMB int
+	// ParallelGen, when > 1, generates each thread's trace on that many
+	// worker goroutines at once using the substream chunk discipline
+	// (trace/parallel.go). Implies Pipeline. Results and checkpoints are
+	// bit-identical for every value — it is a pure throughput knob, so
+	// like Pipeline it is excluded from Fingerprint().
+	ParallelGen int
 }
 
 // DefaultConfig returns the scaled default configuration: 4 threads,

@@ -70,10 +70,10 @@ func TraceCacheStats() trace.CacheStats {
 // the simulation finishes; it stops producer goroutines and releases
 // cache references.
 func (c Config) sources(gens []*trace.ThreadGen) ([]trace.Source, func()) {
-	if !c.Pipeline {
+	if !c.Pipeline && c.ParallelGen <= 1 {
 		return trace.Sources(gens), func() {}
 	}
-	var pcfg trace.PipelineConfig
+	pcfg := trace.PipelineConfig{Parallel: c.ParallelGen}
 	if c.TraceCacheMB >= 0 {
 		mb := c.TraceCacheMB
 		if mb == 0 {

@@ -131,6 +131,8 @@ func TestCheckpointResumePipelined(t *testing.T) {
 
 	pipeCfg := cfg
 	pipeCfg.Pipeline = true
+	parCfg := cfg
+	parCfg.ParallelGen = 2
 	stopErr := errors.New("simulated kill")
 	for _, tc := range []struct {
 		name            string
@@ -140,6 +142,13 @@ func TestCheckpointResumePipelined(t *testing.T) {
 		{"pipelined-kill-pipelined-resume", pipeCfg, pipeCfg, 3},
 		{"sync-kill-pipelined-resume", cfg, pipeCfg, 2},
 		{"pipelined-kill-sync-resume", pipeCfg, cfg, 4},
+		// ParallelGen is likewise excluded from the fingerprint: a
+		// checkpoint written while generating on a worker pool restores
+		// into any other generation mode, and vice versa.
+		{"parallel-kill-parallel-resume", parCfg, parCfg, 3},
+		{"sync-kill-parallel-resume", cfg, parCfg, 2},
+		{"parallel-kill-sync-resume", parCfg, cfg, 4},
+		{"parallel-kill-pipelined-resume", parCfg, pipeCfg, 3},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -27,11 +27,11 @@ import (
 
 // Fingerprint renders every configuration field that affects simulation
 // output into one canonical string. Checkpoint and journal resume use
-// it to refuse state written under a different setup. Pipeline and
-// TraceCacheMB are deliberately excluded: pipelined generation is
-// bit-identical to synchronous by construction (pinned by the
-// differential tests), so a run checkpointed in one mode may resume in
-// the other.
+// it to refuse state written under a different setup. Pipeline,
+// TraceCacheMB and ParallelGen are deliberately excluded: pipelined and
+// substream-parallel generation are bit-identical to synchronous by
+// construction (pinned by the differential tests), so a run
+// checkpointed in one mode may resume in any other.
 func (c Config) Fingerprint() string {
 	faultDesc := "none"
 	if c.Fault != nil && !c.Fault.IsZero() {
@@ -183,6 +183,12 @@ type SweepOptions struct {
 	// successes are journaled: a failed cell is retried on resume.
 	JournalPath string
 	Cell        CellOptions
+	// Shards, when > 1, time-shards each cell's runs via CompareSharded.
+	// Unlike Workers this changes cell Results (sharding is a sampled
+	// decomposition, see shard.go), so it is part of the sweep
+	// fingerprint: a journal written at one shard count is not resumed
+	// at another.
+	Shards int
 }
 
 // sweepRecord is the journaled payload of one successful sweep cell.
@@ -192,8 +198,13 @@ type sweepRecord struct {
 	DynamicCycles  uint64
 }
 
-func sweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate core.Policy) string {
+func sweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate core.Policy, shards int) string {
 	parts := []string{"sweep1", benchmark, baseline.String(), candidate.String()}
+	// Only a sharded sweep stamps its shard count, so journals written
+	// before sharding existed stay resumable.
+	if shards > 1 {
+		parts = append(parts, fmt.Sprintf("shards=%d", shards))
+	}
 	for _, p := range points {
 		parts = append(parts, p.Label, p.Cfg.Fingerprint())
 	}
@@ -214,7 +225,7 @@ func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 	var jr *checkpoint.Journal
 	var prior map[string]json.RawMessage
 	if opts.JournalPath != "" {
-		fp := sweepFingerprint(points, benchmark, baseline, candidate)
+		fp := sweepFingerprint(points, benchmark, baseline, candidate, opts.Shards)
 		jr, prior, err = checkpoint.OpenJournal(opts.JournalPath, fp)
 		if err != nil {
 			return nil, err
@@ -237,8 +248,15 @@ func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 			// Unreadable record: recompute the cell rather than fail.
 		}
 		attempts, err := runCell(ctx, opts.Cell, func(cellCtx context.Context, progress func()) error {
-			c, err := CompareCtx(cellCtx, points[i].Cfg, prof, baseline, candidate,
-				func(int) error { progress(); return nil })
+			hook := func(int) error { progress(); return nil }
+			var c Comparison
+			var err error
+			if opts.Shards > 1 {
+				c, err = CompareSharded(cellCtx, points[i].Cfg, prof, baseline, candidate,
+					ShardSpec{Shards: opts.Shards}, hook)
+			} else {
+				c, err = CompareCtx(cellCtx, points[i].Cfg, prof, baseline, candidate, hook)
+			}
 			if err != nil {
 				return err
 			}

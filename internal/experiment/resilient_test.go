@@ -109,11 +109,13 @@ func TestRunCellStallWatchdog(t *testing.T) {
 
 func TestRunCellProgressFeedsWatchdog(t *testing.T) {
 	// Steady progress keeps a slow cell alive well past StallTimeout.
+	// The stall window is generous relative to the progress period so a
+	// GC or scheduler pause on a loaded 1-CPU runner can't flake it.
 	start := time.Now()
 	_, err := runCell(context.Background(),
-		CellOptions{StallTimeout: 25 * time.Millisecond, Retry: fastRetry(1)},
+		CellOptions{StallTimeout: 100 * time.Millisecond, Retry: fastRetry(1)},
 		func(cellCtx context.Context, progress func()) error {
-			for time.Since(start) < 100*time.Millisecond {
+			for time.Since(start) < 300*time.Millisecond {
 				select {
 				case <-cellCtx.Done():
 					return cellCtx.Err()

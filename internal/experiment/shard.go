@@ -1,0 +1,360 @@
+package experiment
+
+// Time-sharded runs: one long run split into W disjoint time ranges
+// ("shards"), each simulated independently on a worker pool and
+// stitched back into a single Run. The substream chunk discipline makes
+// a shard's entry state O(1) to synthesize — generators fast-forward
+// with trace.SeekInstructions instead of replaying the stream prefix —
+// so shard w starts without paying for shards 0..w-1.
+//
+// Sharding is a sampled-simulation decomposition, not a bit-exact
+// replay of the sequential run: each shard begins from a synthesized
+// cold start (fresh caches, fresh controller, generators seeked to the
+// shard's offset under the shard's entry phase), the same trade
+// SMARTS-style sampled simulators make. Where the sequential run's
+// per-shard entry state is exactly reconstructible it is used — in
+// BySections mode each thread has retired exactly s0*SectionInstructions
+// instructions at section s0, so the generator offset is exact; in
+// ByIntervals mode the interval clock is aggregate and data-dependent,
+// so the offset is the expected per-thread share rounded down to a
+// chunk boundary. The decomposition itself is therefore part of the
+// run's semantics: ShardSpec.Shards changes Results (and is included in
+// sweep fingerprints), while ShardSpec.Workers never does — the pinned
+// invariants are Shards=1 ≡ the plain run, byte-identical, and W
+// workers ≡ 1 worker, byte-identical, for any shard count.
+//
+// Crash safety composes: each shard checkpoints to its own file
+// (Checkpoint.Path + ".shard<w>") with a shard-scoped fingerprint, so a
+// sharded run killed mid-shard resumes exactly — including when the
+// resuming process uses a different worker count or generation mode.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"intracache/internal/cache"
+	"intracache/internal/checkpoint"
+	"intracache/internal/core"
+	"intracache/internal/fault"
+	"intracache/internal/sim"
+	"intracache/internal/stats"
+	"intracache/internal/trace"
+	"intracache/internal/workload"
+)
+
+// ShardSpec configures a time-sharded run.
+type ShardSpec struct {
+	// Shards is the number of disjoint time ranges; <= 1 runs the whole
+	// range as one shard (byte-identical to the unsharded driver).
+	Shards int
+	// Workers bounds the pool simulating shards concurrently; <= 0 uses
+	// one worker per shard. Results are identical for every value.
+	Workers int
+	// Checkpoint, when Path is non-empty, snapshots each shard to
+	// Path + ".shard<w>" and resumes finished or partial shards from
+	// those files (see CheckpointSpec).
+	Checkpoint CheckpointSpec
+}
+
+// shardRange returns shard w's half-open [lo, hi) range over total.
+func shardRange(total, shards, w int) (lo, hi int) {
+	per := (total + shards - 1) / shards
+	lo = w * per
+	hi = lo + per
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// clampShards bounds the shard count to [1, total].
+func clampShards(shards, total int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards > total {
+		return total
+	}
+	return shards
+}
+
+// shardEntry returns shard w's per-thread generator offset (in
+// instructions) and its interval offset for phase modulation.
+func (c Config) shardEntry(mode RunMode, lo int) (genOffset uint64, ivOffset int) {
+	if mode == BySections {
+		genOffset = uint64(lo) * c.SectionInstructions
+		if c.IntervalInstructions > 0 {
+			ivOffset = int(genOffset * uint64(c.NumThreads) / c.IntervalInstructions)
+		}
+		return genOffset, ivOffset
+	}
+	ivOffset = lo
+	if c.NumThreads > 0 {
+		genOffset = uint64(lo) * c.IntervalInstructions / uint64(c.NumThreads)
+		genOffset -= genOffset % trace.ChunkInstructions
+	}
+	return genOffset, ivOffset
+}
+
+// shardOut is one shard's contribution to the stitched Run.
+type shardOut struct {
+	res    sim.Result
+	rts    *core.RuntimeSystem
+	faults *fault.Stats
+}
+
+// runShard simulates shard w covering [lo, hi) of the run's range from
+// a synthesized entry state, with optional per-shard checkpointing
+// (modelled on CheckpointedRun: every interval boundary is a valid
+// resume point, and the final state is saved on cancellation too).
+func runShard(ctx context.Context, cfg Config, prof workload.Profile, pol core.Policy,
+	mode RunMode, w, shards, lo, hi int, ck CheckpointSpec, hook sim.IntervalHook) (shardOut, error) {
+	gens, err := prof.Generators(cfg.NumThreads, cfg.LineBytes, cfg.Seed)
+	if err != nil {
+		return shardOut{}, err
+	}
+	genOffset, ivOffset := cfg.shardEntry(mode, lo)
+	if genOffset > 0 {
+		for _, g := range gens {
+			g.SeekInstructions(genOffset)
+		}
+	}
+	ctl, rts, err := core.ControllerFor(pol)
+	if err != nil {
+		return shardOut{}, err
+	}
+	ctl, inj, err := cfg.wrapFault(ctl)
+	if err != nil {
+		return shardOut{}, err
+	}
+	srcs, closeSrcs := cfg.sources(gens)
+	defer closeSrcs()
+	pf := prof.PhaseFunc(cfg.NumThreads)
+	if pf != nil && ivOffset > 0 {
+		inner := pf
+		pf = func(thread, interval int) (float64, float64) {
+			return inner(thread, interval+ivOffset)
+		}
+	}
+	s, err := sim.New(cfg.simParams(pol), srcs, ctl, pf)
+	if err != nil {
+		return shardOut{}, err
+	}
+
+	modeName, total := "intervals", hi-lo
+	if mode == BySections {
+		modeName = "sections"
+	}
+	meta := checkpoint.Meta{
+		Benchmark:   prof.Name,
+		Policy:      pol.String(),
+		Fingerprint: fmt.Sprintf("%s shard%d/%d", cfg.Fingerprint(), w, shards),
+		Mode:        modeName,
+		Total:       total,
+	}
+	path := ""
+	if ck.Path != "" {
+		path = fmt.Sprintf("%s.shard%d", ck.Path, w)
+	}
+	if ck.Resume && path != "" {
+		snap, err := checkpoint.Load(path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume from; run the shard from its entry state.
+		case err != nil:
+			return shardOut{}, err
+		default:
+			if err := restoreSnapshot(snap, meta, s, rts, inj); err != nil {
+				return shardOut{}, err
+			}
+		}
+	}
+	save := func() error {
+		if path == "" {
+			return nil
+		}
+		snap, err := captureSnapshot(meta, s, rts, inj)
+		if err != nil {
+			return err
+		}
+		return checkpoint.Save(path, snap)
+	}
+	runHook := func(done int) error {
+		if ck.Every > 0 && done%ck.Every == 0 {
+			if err := save(); err != nil {
+				return err
+			}
+		}
+		if hook != nil {
+			return hook(done)
+		}
+		return nil
+	}
+
+	var res sim.Result
+	var runErr error
+	if mode == BySections {
+		remaining := total - s.CompletedSections()
+		if remaining < 0 {
+			remaining = 0
+		}
+		res, runErr = s.RunSectionsContext(ctx, remaining, runHook)
+	} else {
+		res, runErr = s.RunIntervalsContext(ctx, total, runHook)
+	}
+	if err := save(); err != nil && runErr == nil {
+		runErr = err
+	}
+	out := shardOut{res: res, rts: rts}
+	if inj != nil {
+		st := inj.Stats()
+		out.faults = &st
+	}
+	return out, runErr
+}
+
+// stitchShards folds per-shard results into one Result in shard order:
+// counters sum, interval series concatenate with sequential renumbering,
+// and final-state fields (FinalTargets, ControllerHealth) come from the
+// last shard.
+func stitchShards(outs []shardOut) sim.Result {
+	var res sim.Result
+	idx := 0
+	for _, o := range outs {
+		r := o.res
+		res.WallCycles += r.WallCycles
+		res.TotalInstr += r.TotalInstr
+		res.Barriers += r.Barriers
+		if res.ThreadCycles == nil {
+			res.ThreadCycles = make([]uint64, len(r.ThreadCycles))
+			res.ThreadInstr = make([]uint64, len(r.ThreadInstr))
+			res.ThreadStall = make([]uint64, len(r.ThreadStall))
+		}
+		for t := range r.ThreadCycles {
+			res.ThreadCycles[t] += r.ThreadCycles[t]
+			res.ThreadInstr[t] += r.ThreadInstr[t]
+			res.ThreadStall[t] += r.ThreadStall[t]
+		}
+		if res.L2Stats.Threads == nil {
+			res.L2Stats.Threads = make([]cache.ThreadStats, len(r.L2Stats.Threads))
+		}
+		for t, ts := range r.L2Stats.Threads {
+			d := &res.L2Stats.Threads[t]
+			d.Accesses += ts.Accesses
+			d.Hits += ts.Hits
+			d.Misses += ts.Misses
+			d.InterThreadHits += ts.InterThreadHits
+			d.EvictionsCaused += ts.EvictionsCaused
+			d.InterThreadEvictons += ts.InterThreadEvictons
+			d.EvictionsSuffered += ts.EvictionsSuffered
+		}
+		for _, iv := range r.Intervals {
+			iv.Index = idx
+			idx++
+			res.Intervals = append(res.Intervals, iv)
+		}
+		res.FinalTargets = r.FinalTargets
+		res.ControllerHealth = r.ControllerHealth
+	}
+	return res
+}
+
+// sumFaultStats folds per-shard fault counters; nil when no shard had
+// an injector.
+func sumFaultStats(outs []shardOut) *fault.Stats {
+	var sum fault.Stats
+	any := false
+	for _, o := range outs {
+		if o.faults == nil {
+			continue
+		}
+		any = true
+		sum.Intervals += o.faults.Intervals
+		sum.DroppedIntervals += o.faults.DroppedIntervals
+		sum.StuckSamples += o.faults.StuckSamples
+		sum.NoisySamples += o.faults.NoisySamples
+		sum.Stalls += o.faults.Stalls
+		sum.DelayedDecisions += o.faults.DelayedDecisions
+	}
+	if !any {
+		return nil
+	}
+	return &sum
+}
+
+// ShardedRun is the time-sharded run driver: it splits the run's range
+// into spec.Shards disjoint shards, simulates them concurrently on
+// spec.Workers workers, and stitches the results in shard order. The
+// hook, when non-nil, is invoked from shard workers concurrently (it
+// feeds progress watchdogs; per-interval ordering across shards is not
+// meaningful). See the file comment for the exact semantics and the
+// invariants the differential tests pin.
+func ShardedRun(ctx context.Context, cfg Config, prof workload.Profile, pol core.Policy,
+	mode RunMode, spec ShardSpec, hook sim.IntervalHook) (Run, error) {
+	total := cfg.Intervals
+	if mode == BySections {
+		total = cfg.Sections
+	}
+	if total <= 0 {
+		return Run{}, fmt.Errorf("experiment: sharded run needs a positive run length, got %d", total)
+	}
+	shards := clampShards(spec.Shards, total)
+	workers := spec.Workers
+	if workers <= 0 || workers > shards {
+		workers = shards
+	}
+	outs := make([]shardOut, shards)
+	errs := forEachIndexCtx(ctx, shards, workers, func(w int) error {
+		lo, hi := shardRange(total, shards, w)
+		out, err := runShard(ctx, cfg, prof, pol, mode, w, shards, lo, hi, spec.Checkpoint, hook)
+		outs[w] = out
+		return err
+	})
+	for w, err := range errs {
+		if err != nil {
+			return Run{}, fmt.Errorf("experiment: shard %d/%d: %w", w, shards, err)
+		}
+	}
+	run := Run{
+		Benchmark:  prof.Name,
+		Policy:     pol,
+		Result:     stitchShards(outs),
+		RTS:        outs[shards-1].rts,
+		FaultStats: sumFaultStats(outs),
+	}
+	return run, nil
+}
+
+// ShardedRunByName is ShardedRun with a benchmark name lookup.
+func ShardedRunByName(ctx context.Context, cfg Config, benchmark string, pol core.Policy,
+	mode RunMode, spec ShardSpec, hook sim.IntervalHook) (Run, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return Run{}, err
+	}
+	return ShardedRun(ctx, cfg, prof, pol, mode, spec, hook)
+}
+
+// CompareSharded is CompareCtx with both runs time-sharded under spec.
+// Like Shards itself, the comparison's semantics depend on the shard
+// count but never on the worker count.
+func CompareSharded(ctx context.Context, cfg Config, prof workload.Profile,
+	baseline, candidate core.Policy, spec ShardSpec, hook sim.IntervalHook) (Comparison, error) {
+	base, err := ShardedRun(ctx, cfg, prof, baseline, BySections, spec, hook)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cand, err := ShardedRun(ctx, cfg, prof, candidate, BySections, spec, hook)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Benchmark:       prof.Name,
+		BaselineCycles:  base.Result.WallCycles,
+		CandidateCycles: cand.Result.WallCycles,
+		ImprovementPct: 100 * stats.Improvement(
+			float64(base.Result.WallCycles), float64(cand.Result.WallCycles)),
+	}, nil
+}

@@ -1,0 +1,188 @@
+package trace
+
+// Substream-parallel generation: many cores producing ONE thread's
+// stream. The chunk discipline (see the package comment in trace.go)
+// makes the start of chunk k a pure function of (spec, base RNG, phase,
+// k), computable in O(log k) via ThreadGen.SeekChunk — so segments that
+// start on chunk boundaries need not be generated in stream order. The
+// parallel producer exploits that: a coordinator goroutine predicts the
+// canonical start chunk of each upcoming segment, farms the segments
+// out to a pool of workers (each owning a scratch generator it seeks to
+// the segment's chunk), and emits the results to the consumer in stream
+// order through the same producer channel the sequential producer uses.
+//
+// The emitted segments are byte-identical to sequential generation:
+// every worker materialises exactly the state the sequential generator
+// would have at its segment's start (the canonicality property the
+// trace-level differential tests pin), so Parallel is excluded from
+// anything that fingerprints a run's results.
+//
+// Canonicality is verified, not assumed. The consumer may attach the
+// pipeline mid-chunk (after a checkpoint restore) or with cursors drawn
+// under a different phase than the current one (a SetPhase before first
+// consumption rescales the working set without redrawing chunk-entry
+// cursors). The coordinator therefore starts in a sequential regime —
+// produceOne, exactly like the sequential producer — until the stream
+// reaches a chunk boundary, whose post-switch state is canonical by
+// construction; an initial O(log k) seek-and-compare detects the common
+// case where the attachment state is already canonical and the
+// sequential regime can be skipped entirely. A stream that never
+// aligns (mid-chunk restore with a segment length that is a multiple of
+// the chunk length keeps the misalignment forever) simply stays in the
+// sequential regime: correct, just not parallel.
+//
+// Cache interplay: the coordinator probes the shared SegmentCache
+// (lookahead) before dispatching a segment to a worker, so sweep cells
+// that share a stream still elide generation entirely, and publishes
+// worker-generated segments at the emission point, in stream order, so
+// cache contents are independent of the Parallel setting.
+
+import "sync"
+
+// genJob asks a worker for one segment starting at chunk. out is
+// buffered so a job abandoned on shutdown never blocks its worker.
+type genJob struct {
+	chunk uint64
+	out   chan *segment
+}
+
+// startParallelProducer is startProducer's Parallel>1 variant: same
+// producer handshake, same ownership rules (the coordinator owns p.gen,
+// p.genAt and p.entry until stopProducer completes).
+func (p *Pipelined) startParallelProducer() {
+	pr := &producer{
+		out:  make(chan *segment, p.cfg.Depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.prod = pr
+	go p.runParallelProducer(pr, p.nextSeg)
+}
+
+// startCanonical reports whether st is the canonical start of its chunk
+// under its own phase: aligned on a chunk boundary, with RNG and
+// cursors exactly as enterChunk would derive them. One scratch seek
+// plus a state compare.
+func (p *Pipelined) startCanonical(st GenState) bool {
+	if st.Instructions%ChunkInstructions != 0 {
+		return false
+	}
+	ver := p.newScratch()
+	cp := st
+	if err := ver.RestoreSourceState(SourceState{Gen: &cp}); err != nil {
+		return false
+	}
+	ver.SeekChunk(st.Instructions / ChunkInstructions)
+	return *ver.SourceState().Gen == st
+}
+
+func (p *Pipelined) runParallelProducer(pr *producer, emitK int) {
+	defer close(pr.done)
+	segLen := p.cfg.SegmentInstructions
+	chunksPerSeg := segLen / ChunkInstructions
+	window := p.cfg.Parallel + 1
+	jobs := make(chan genJob, window)
+	var wg sync.WaitGroup
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	// template carries the base RNG state and phase every worker needs;
+	// its stream position is irrelevant (SeekChunk overwrites it).
+	template := *p.gen.SourceState().Gen
+	for w := 0; w < p.cfg.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := p.newScratch()
+			st := template
+			if err := scratch.RestoreSourceState(SourceState{Gen: &st}); err != nil {
+				panic("trace: parallel worker restore: " + err.Error())
+			}
+			for {
+				select {
+				case <-pr.stop:
+					return
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					scratch.SeekChunk(j.chunk)
+					j.out <- genSegment(scratch, segLen)
+				}
+			}
+		}()
+	}
+
+	// Sequential regime: emit via produceOne until the stream start is
+	// canonical (it is after the first segment that ends on a chunk
+	// boundary, or immediately when the attachment state checks out).
+	cur := template
+	canonical := p.startCanonical(cur)
+	for !canonical {
+		select {
+		case <-pr.stop:
+			return
+		default:
+		}
+		seg := p.produceOne(emitK)
+		select {
+		case pr.out <- seg:
+		case <-pr.stop:
+			return
+		}
+		emitK++
+		cur = seg.end
+		canonical = cur.Instructions%ChunkInstructions == 0
+	}
+
+	// Parallel regime: segment emitK+j starts at a predictable chunk,
+	// so keep a window of in-flight slots — cache hits resolved
+	// immediately, everything else dispatched to the pool — and emit
+	// (publishing worker output in stream order) from the window head.
+	type slot struct {
+		seg *segment
+		ch  chan *segment
+	}
+	var win []slot
+	nextChunk := cur.Instructions / ChunkInstructions
+	for {
+		for len(win) < window {
+			var s slot
+			if p.entry != nil {
+				s.seg = p.cache.lookahead(p.entry, emitK+len(win))
+			}
+			if s.seg == nil {
+				s.ch = make(chan *segment, 1)
+				jobs <- genJob{chunk: nextChunk, out: s.ch}
+			}
+			win = append(win, s)
+			nextChunk += chunksPerSeg
+		}
+		s := win[0]
+		win = win[1:]
+		seg := s.seg
+		if seg == nil {
+			select {
+			case seg = <-s.ch:
+			case <-pr.stop:
+				return
+			}
+		}
+		if p.entry != nil && s.ch != nil {
+			canon, ok := p.cache.publish(p.entry, emitK, seg)
+			seg = canon
+			if !ok {
+				p.cache.release(p.entry)
+				p.entry = nil
+			}
+		}
+		select {
+		case pr.out <- seg:
+			emitK++
+		case <-pr.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"testing"
+
+	"intracache/internal/xrand"
+)
+
+// parallelModes enumerates parallel pipeline configurations under test.
+// All use the default segment length (== ChunkInstructions), the shape
+// parallel generation requires.
+func parallelModes(budget int64) map[string]func() PipelineConfig {
+	return map[string]func() PipelineConfig{
+		"par2-private": func() PipelineConfig {
+			return PipelineConfig{Parallel: 2, Depth: 2}
+		},
+		"par4-private": func() PipelineConfig {
+			return PipelineConfig{Parallel: 4, Depth: 3}
+		},
+		"par3-cached": func() PipelineConfig {
+			return PipelineConfig{Parallel: 3, Cache: NewSegmentCache(budget)}
+		},
+	}
+}
+
+// TestParallelMatchesGenerator is the trace-level differential pin for
+// substream-parallel generation: for every worker count, the emitted
+// stream and the reported SourceState must be bit-identical to the bare
+// synchronous generator's at every checkpoint.
+func TestParallelMatchesGenerator(t *testing.T) {
+	withAsync(t)
+	const total = 8 * 40_000
+	for name, mkCfg := range parallelModes(1 << 22) {
+		t.Run(name, func(t *testing.T) {
+			ref := newPipeGen(t, pipeSpec(0), 11)
+			p := NewPipelined(newPipeGen(t, pipeSpec(0), 11), mkCfg())
+			defer p.Close()
+			for part := 0; part < 8; part++ {
+				want := drain(ref, total/8, uint64(300+part))
+				got := drain(p, total/8, uint64(300+part))
+				diffStreams(t, name, want, got)
+				if rs, ps := ref.SourceState(), p.SourceState(); *rs.Gen != *ps.Gen {
+					t.Fatalf("part %d: SourceState diverged:\nref %+v\npipe %+v", part, *rs.Gen, *ps.Gen)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSetPhaseEquivalence drives the parallel pipeline through
+// behaviour-changing phase schedules. Each rephase stops the worker
+// pool at an arbitrary mid-chunk consumption point and restarts it
+// privately, exercising the sequential-regime re-entry until the stream
+// realigns with a chunk boundary.
+func TestParallelSetPhaseEquivalence(t *testing.T) {
+	withAsync(t)
+	phases := []struct{ ws, str float64 }{
+		{1, 1}, {1.5, 0.6}, {1.5, 0.6}, {0.7, 1.4}, {1, 1}, {0.05, 20},
+	}
+	for name, mkCfg := range parallelModes(1 << 22) {
+		t.Run(name, func(t *testing.T) {
+			ref := newPipeGen(t, pipeSpec(1), 23)
+			p := NewPipelined(newPipeGen(t, pipeSpec(1), 23), mkCfg())
+			defer p.Close()
+			for i, ph := range phases {
+				ref.SetPhase(ph.ws, ph.str)
+				p.SetPhase(ph.ws, ph.str)
+				want := drain(ref, 30_000, uint64(i))
+				got := drain(p, 30_000, uint64(i))
+				diffStreams(t, name, want, got)
+				if rs, ps := ref.SourceState(), p.SourceState(); *rs.Gen != *ps.Gen {
+					t.Fatalf("phase %d: SourceState diverged:\nref %+v\npipe %+v", i, *rs.Gen, *ps.Gen)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRestore pins checkpoint interchange: a state captured
+// mid-chunk from a synchronous generator restores into a parallel
+// pipeline (which can never realign and must stay on the sequential
+// regime) and produces the identical continuation.
+func TestParallelRestore(t *testing.T) {
+	withAsync(t)
+	ref := newPipeGen(t, pipeSpec(2), 7)
+	drain(ref, 12_345, 1) // park the reference mid-chunk
+	st := ref.SourceState()
+
+	p := NewPipelined(newPipeGen(t, pipeSpec(2), 7), PipelineConfig{Parallel: 4})
+	defer p.Close()
+	if err := p.RestoreSourceState(st); err != nil {
+		t.Fatal(err)
+	}
+	diffStreams(t, "restored", drain(ref, 50_000, 2), drain(p, 50_000, 2))
+	if rs, ps := ref.SourceState(), p.SourceState(); *rs.Gen != *ps.Gen {
+		t.Fatalf("SourceState diverged:\nref %+v\npipe %+v", *rs.Gen, *ps.Gen)
+	}
+}
+
+// TestParallelCacheInterop: cache contents must be independent of the
+// Parallel setting, in both directions — a parallel run replays what a
+// sequential run published without regenerating it, and a sequential
+// run replays what a parallel run published.
+func TestParallelCacheInterop(t *testing.T) {
+	withAsync(t)
+	const n = 60_000
+	seq := func(c *SegmentCache) *Pipelined {
+		return NewPipelined(newPipeGen(t, pipeSpec(3), 5), PipelineConfig{Sync: true, Cache: c})
+	}
+	par := func(c *SegmentCache) *Pipelined {
+		return NewPipelined(newPipeGen(t, pipeSpec(3), 5), PipelineConfig{Parallel: 3, Cache: c})
+	}
+
+	t.Run("seq-fills-par-reads", func(t *testing.T) {
+		cache := NewSegmentCache(1 << 22)
+		a := seq(cache)
+		want := drain(a, n, 1)
+		a.Close()
+		mid := cache.Stats()
+
+		b := par(cache)
+		got := drain(b, n, 1)
+		b.Close()
+		diffStreams(t, "interop", want, got)
+		after := cache.Stats()
+		if after.Entries != 1 {
+			t.Errorf("parallel run created a new entry: %+v", after)
+		}
+		// Every segment the first run published must be served from the
+		// cache. (The parallel producer may run ahead of the consumer and
+		// publish segments past the first run's frontier; that extends the
+		// shared prefix and is not regeneration.)
+		if after.Hits-mid.Hits < mid.Misses {
+			t.Errorf("parallel run hit only %d cached segments, want all %d", after.Hits-mid.Hits, mid.Misses)
+		}
+	})
+
+	t.Run("par-fills-seq-reads", func(t *testing.T) {
+		cache := NewSegmentCache(1 << 22)
+		a := par(cache)
+		want := drain(a, n, 1)
+		a.Close()
+		mid := cache.Stats()
+		if mid.Entries != 1 || mid.Misses == 0 {
+			t.Fatalf("parallel first run: stats %+v, want 1 entry with published segments", mid)
+		}
+
+		b := seq(cache)
+		got := drain(b, n, 1)
+		b.Close()
+		diffStreams(t, "interop", want, got)
+		if after := cache.Stats(); after.Misses != mid.Misses {
+			t.Errorf("sequential run regenerated segments a parallel run published: misses %d -> %d", mid.Misses, after.Misses)
+		}
+	})
+}
+
+// TestParallelUnalignedSegmentsFallBack: a segment length that is not a
+// chunk multiple cannot be predicted chunk-wise; Parallel must quietly
+// use the sequential producer and still match the bare generator.
+func TestParallelUnalignedSegmentsFallBack(t *testing.T) {
+	withAsync(t)
+	ref := newPipeGen(t, pipeSpec(4), 13)
+	p := NewPipelined(newPipeGen(t, pipeSpec(4), 13),
+		PipelineConfig{Parallel: 4, SegmentInstructions: 777})
+	defer p.Close()
+	diffStreams(t, "unaligned", drain(ref, 30_000, 4), drain(p, 30_000, 4))
+}
+
+// TestSeekInstructionsMatchesReplay pins the O(log n) fast-forward the
+// time-sharded driver relies on: seeking to an arbitrary instruction
+// count equals generating that many instructions from scratch, for
+// offsets on, before and after chunk boundaries.
+func TestSeekInstructionsMatchesReplay(t *testing.T) {
+	for _, n := range []uint64{0, 1, ChunkInstructions - 1, ChunkInstructions,
+		ChunkInstructions + 1, 3*ChunkInstructions + 1234, 10 * ChunkInstructions} {
+		ref := newPipeGen(t, pipeSpec(5), 17)
+		var left = n
+		for left > 0 {
+			nonMem, in := ref.NextRun(left)
+			left -= nonMem
+			if in.IsMem {
+				left--
+			}
+		}
+		g := newPipeGen(t, pipeSpec(5), 17)
+		g.SeekInstructions(n)
+		if rs, gs := ref.SourceState(), g.SourceState(); *rs.Gen != *gs.Gen {
+			t.Errorf("SeekInstructions(%d) state:\n got %+v\nwant %+v", n, *gs.Gen, *rs.Gen)
+		}
+		// And the continuation streams agree.
+		diffStreams(t, "seek-continuation", drain(ref, 5_000, n), drain(g, 5_000, n))
+	}
+}
+
+// TestSeekInstructionsUnderPhase: seeking under a non-default phase
+// must match a generator that had the same phase applied at
+// construction time and then generated sequentially.
+func TestSeekInstructionsUnderPhase(t *testing.T) {
+	const n = 2*ChunkInstructions + 999
+	ref := newPipeGen(t, pipeSpec(6), 29)
+	ref.SetPhase(1.7, 0.5)
+	var left uint64 = n
+	for left > 0 {
+		nonMem, in := ref.NextRun(left)
+		left -= nonMem
+		if in.IsMem {
+			left--
+		}
+	}
+	g := newPipeGen(t, pipeSpec(6), 29)
+	g.SetPhase(1.7, 0.5)
+	g.SeekInstructions(n)
+	if rs, gs := ref.SourceState(), g.SourceState(); *rs.Gen != *gs.Gen {
+		t.Fatalf("state:\n got %+v\nwant %+v", *gs.Gen, *rs.Gen)
+	}
+}
+
+// TestChunkStartIsPureFunction pins the property parallel generation
+// is built on: the state at any chunk boundary depends only on (spec,
+// base RNG, phase, chunk index), never on how the stream got there.
+func TestChunkStartIsPureFunction(t *testing.T) {
+	// Path A: generate three chunks sequentially.
+	a := newPipeGen(t, pipeSpec(0), 3)
+	var left uint64 = 3 * ChunkInstructions
+	for left > 0 {
+		nonMem, in := a.NextRun(left)
+		left -= nonMem
+		if in.IsMem {
+			left--
+		}
+	}
+	// Path B: seek straight to chunk 3.
+	b := newPipeGen(t, pipeSpec(0), 3)
+	b.SeekChunk(3)
+	if as, bs := a.SourceState(), b.SourceState(); *as.Gen != *bs.Gen {
+		t.Fatalf("chunk 3 start differs by path:\nsequential %+v\n      seek %+v", *as.Gen, *bs.Gen)
+	}
+	// Path C: a different generator instance restored to the recorded
+	// base, as pool workers are.
+	c, err := NewThread(pipeSpec(0), xrand.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.SourceState()
+	if err := c.RestoreSourceState(st); err != nil {
+		t.Fatal(err)
+	}
+	c.SeekChunk(3)
+	if bs, cs := b.SourceState(), c.SourceState(); *bs.Gen != *cs.Gen {
+		t.Fatalf("worker-style restore diverged:\nwant %+v\n got %+v", *bs.Gen, *cs.Gen)
+	}
+}

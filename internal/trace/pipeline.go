@@ -244,6 +244,22 @@ func (c *SegmentCache) fetch(e *cacheEntry, k int) (seg *segment, frontier GenSt
 	return nil, e.end, !e.full
 }
 
+// lookahead returns segment k if it is already cached, without fetch's
+// frontier bookkeeping: the parallel producer probes positions ahead of
+// its emission point, where a miss is a dispatch decision (generate it
+// on a worker) rather than a generation obligation at the frontier.
+func (c *SegmentCache) lookahead(e *cacheEntry, k int) *segment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	e.lastUse = c.clock
+	if k < len(e.segs) {
+		c.hits++
+		return e.segs[k]
+	}
+	return nil
+}
+
 // publish offers a freshly generated segment as entry position k.
 // It returns the canonical segment for k — the existing one if another
 // run raced ahead (identical content by determinism) — and whether the
@@ -313,6 +329,13 @@ type PipelineConfig struct {
 	// direct generator delegation. Implied when GOMAXPROCS==1, where a
 	// producer goroutine could only time-slice against its consumer.
 	Sync bool
+	// Parallel, when > 1, generates one thread's stream on that many
+	// worker goroutines at once, exploiting the substream chunk
+	// discipline (see parallel.go). The emitted stream is byte-identical
+	// for every value, so Parallel is a pure throughput knob. Requires
+	// SegmentInstructions to be a multiple of ChunkInstructions and is
+	// ignored in Sync mode (including the GOMAXPROCS==1 fallback).
+	Parallel int
 	// Cache, when non-nil, shares segments with other runs (see
 	// SegmentCache). Nil gives pure overlap with private segments.
 	Cache *SegmentCache
@@ -520,13 +543,7 @@ func (p *Pipelined) syncState() GenState {
 		return p.cur.end
 	}
 	if p.scratch == nil {
-		g, err := NewThread(p.gen.Spec(), xrand.New(1))
-		if err != nil {
-			// The wrapped generator was built from this spec, so it
-			// validated once already.
-			panic(fmt.Sprintf("trace: pipeline scratch generator: %v", err))
-		}
-		p.scratch = g
+		p.scratch = p.newScratch()
 	}
 	st := p.cur.start
 	if err := p.scratch.RestoreSourceState(SourceState{Gen: &st}); err != nil {
@@ -541,6 +558,19 @@ func (p *Pipelined) syncState() GenState {
 		}
 	}
 	return *p.scratch.SourceState().Gen
+}
+
+// newScratch builds a throwaway generator for the spec; callers restore
+// it to a recorded GenState (which carries the true substream base)
+// before use, so the placeholder seed never reaches the stream.
+func (p *Pipelined) newScratch() *ThreadGen {
+	g, err := NewThread(p.gen.Spec(), xrand.New(1))
+	if err != nil {
+		// The wrapped generator was built from this spec, so it
+		// validated once already.
+		panic(fmt.Sprintf("trace: pipeline scratch generator: %v", err))
+	}
+	return g
 }
 
 // rephase moves the real generator to the consumption point, applies
@@ -707,6 +737,10 @@ func (p *Pipelined) produceOne(k int) *segment {
 // it runs it owns p.gen, p.genAt and p.entry; the consumer regains them
 // only through stopProducer's handshake.
 func (p *Pipelined) startProducer() {
+	if p.cfg.Parallel > 1 && p.cfg.SegmentInstructions%ChunkInstructions == 0 {
+		p.startParallelProducer()
+		return
+	}
 	pr := &producer{
 		out:  make(chan *segment, p.cfg.Depth),
 		stop: make(chan struct{}),

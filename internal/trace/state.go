@@ -13,9 +13,16 @@ type SourceState struct {
 	Replay *ReplayState
 }
 
-// GenState snapshots a ThreadGen's mutable state.
+// GenState snapshots a ThreadGen's mutable state. Base is the RNG
+// state the generator was constructed with — the root all chunk
+// substreams derive from. It must travel with the snapshot: a restored
+// generator (or a scratch generator replaying a recorded segment's
+// start state) re-derives substream k from Base when it crosses a chunk
+// boundary, so restoring Rng alone would splice the wrong substreams
+// into the stream.
 type GenState struct {
 	Rng          [4]uint64
+	Base         [4]uint64
 	WsScale      float64
 	StreamScale  float64
 	StreamPos    uint64
@@ -49,6 +56,7 @@ var (
 func (g *ThreadGen) SourceState() SourceState {
 	return SourceState{Gen: &GenState{
 		Rng:          g.rng.State(),
+		Base:         g.baseState,
 		WsScale:      g.wsScale,
 		StreamScale:  g.streamScale,
 		StreamPos:    g.streamPos,
@@ -69,12 +77,19 @@ func (g *ThreadGen) RestoreSourceState(st SourceState) error {
 	if err := g.rng.Restore(s.Rng); err != nil {
 		return err
 	}
+	if s.Base != ([4]uint64{}) {
+		g.baseState = s.Base
+	}
 	// SetPhase rebuilds the region samplers and may clamp stridePos, so
 	// the cursors are restored after it.
 	g.SetPhase(s.WsScale, s.StreamScale)
 	g.streamPos = s.StreamPos
 	g.stridePos = s.StridePos
 	g.instructions = s.Instructions
+	// The snapshot lands mid-chunk (or exactly at a boundary the eager
+	// switch already crossed); the cached substream start is stale.
+	g.curChunk = s.Instructions / ChunkInstructions
+	g.subValid = false
 	return nil
 }
 

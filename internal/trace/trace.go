@@ -18,6 +18,26 @@
 // Phase behaviour (paper Sec. IV-A1, Figs. 6/7) enters through
 // SetPhase, which rescales the working set and stream intensity per
 // execution interval.
+//
+// # Substream chunk discipline
+//
+// A thread's stream is defined as the concatenation of fixed-length
+// chunks of ChunkInstructions instructions. Chunk k draws its
+// randomness from substream k of the thread's base RNG (the xoshiro
+// stream advanced k·2^128 draws, see xrand.Substream), and opens by
+// redrawing the thread's streaming and strided cursors from that
+// substream's first draws. The switch to chunk k+1 is eager — it
+// happens the moment chunk k's last instruction is consumed — so the
+// generator state at a chunk boundary IS the next chunk's start state.
+// Together these make the start of any chunk an O(1) pure function of
+// (spec, base RNG, phase, chunk index): many cores can generate
+// disjoint chunks of one thread's stream concurrently (pipeline
+// parallel mode), and a time-sharded run can synthesize the generator
+// state deep inside a stream without replaying the prefix (SeekChunk /
+// SeekInstructions). The cursor redraw keeps chunk-local behaviour
+// faithful: a streaming chunk starts at a random line of the streaming
+// region instead of always at offset 0, so the polluter character of
+// the region is preserved across the chunked stream.
 package trace
 
 import (
@@ -101,6 +121,17 @@ type Instr struct {
 	Addr  uint64
 }
 
+// ChunkInstructions is the substream chunk length: every this many
+// instructions the generator switches to the next 2^128-draw substream
+// of its base RNG and redraws its region cursors (see the package
+// comment). The value is stream-defining — changing it changes every
+// generated trace — and matches the pipeline's default segment size so
+// cached segments and parallel generation chunks coincide.
+const ChunkInstructions = 8192
+
+// chunkMask exploits that ChunkInstructions is a power of two.
+const chunkMask = ChunkInstructions - 1
+
 // zipfBuckets caps the Zipf table size: regions are sampled through at
 // most this many equal-width buckets of lines, with uniform placement
 // inside a bucket. This bounds per-phase rebuild cost while preserving
@@ -170,6 +201,19 @@ type ThreadGen struct {
 	spec ThreadSpec
 	rng  *xrand.Rand
 
+	// baseState is the RNG state the generator was constructed with;
+	// chunk k of the stream draws from substream k of this base.
+	// curChunk is the chunk currently being generated
+	// (instructions / ChunkInstructions — the eager boundary switch
+	// keeps that identity exact). subRng caches the start state of
+	// substream curChunk so the sequential k -> k+1 transition is one
+	// Jump instead of a table-backed Substream composition; subValid
+	// is false after a restore, when subRng has not been rederived.
+	baseState [4]uint64
+	subRng    [4]uint64
+	subValid  bool
+	curChunk  uint64
+
 	private *regionSampler
 	shared  *regionSampler
 
@@ -202,7 +246,7 @@ func NewThread(spec ThreadSpec, rng *xrand.Rand) (*ThreadGen, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	g := &ThreadGen{spec: spec, rng: rng}
+	g := &ThreadGen{spec: spec, rng: rng, baseState: rng.State()}
 	if spec.MemRatio > 0 && spec.MemRatio < 1 {
 		g.memThresh = uint64(math.Ceil(spec.MemRatio * (1 << 53)))
 	}
@@ -213,7 +257,73 @@ func NewThread(spec ThreadSpec, rng *xrand.Rand) (*ThreadGen, error) {
 		g.writeThresh = uint64(math.Ceil(spec.WriteRatio * (1 << 53)))
 	}
 	g.SetPhase(1, 1)
+	g.enterChunk(0)
 	return g, nil
+}
+
+// enterChunk switches the generator's randomness to substream k and
+// draws the chunk-entry cursors. The cursor draw *conditions* depend
+// only on the spec (never the phase), so every chunk consumes the same
+// draw pattern at entry; the drawn *values* may be phase-dependent
+// (the strided cursor lands inside the phase-scaled working set).
+func (g *ThreadGen) enterChunk(k uint64) {
+	if g.subValid && k == g.curChunk+1 {
+		// Sequential traversal: the next substream is one Jump ahead.
+		var r xrand.Rand
+		if err := r.Restore(g.subRng); err != nil {
+			panic(fmt.Sprintf("trace: substream state: %v", err))
+		}
+		r.Jump()
+		g.subRng = r.State()
+	} else {
+		var base xrand.Rand
+		if err := base.Restore(g.baseState); err != nil {
+			panic(fmt.Sprintf("trace: base RNG state: %v", err))
+		}
+		g.subRng = base.Substream(k).State()
+	}
+	g.curChunk = k
+	g.subValid = true
+	if err := g.rng.Restore(g.subRng); err != nil {
+		panic(fmt.Sprintf("trace: chunk %d RNG state: %v", k, err))
+	}
+	if g.spec.StreamWeight > 0 && g.streamLines > 0 {
+		g.streamPos = g.rng.Uint64n(g.streamLines) * uint64(g.spec.LineBytes)
+	}
+	if g.spec.StrideWeight > 0 {
+		// Restart the strided walk at a random step, not a random byte:
+		// a fixed-stride kernel touches one coset of lines, and the
+		// redraw must preserve that footprint across chunks.
+		stride := uint64(g.spec.StrideBytes)
+		steps := g.wsBytes / stride
+		if steps == 0 {
+			steps = 1
+		}
+		g.stridePos = g.rng.Uint64n(steps) * stride
+	}
+}
+
+// SeekChunk positions the generator at the canonical start of chunk k
+// under its current phase in O(log k), without replaying instructions:
+// substream-k randomness plus the chunk-entry cursor draws.
+func (g *ThreadGen) SeekChunk(k uint64) {
+	g.instructions = k * ChunkInstructions
+	g.enterChunk(k)
+}
+
+// SeekInstructions fast-forwards the generator to the state it would
+// have after generating exactly n instructions from its construction
+// state under the current phase: O(log n) to the enclosing chunk
+// boundary plus replay of at most ChunkInstructions-1 instructions.
+func (g *ThreadGen) SeekInstructions(n uint64) {
+	g.SeekChunk(n / ChunkInstructions)
+	for left := n & chunkMask; left > 0; {
+		nonMem, in := g.NextRun(left)
+		left -= nonMem
+		if in.IsMem {
+			left--
+		}
+	}
 }
 
 // Spec returns the generator's spec.
@@ -261,13 +371,19 @@ func (g *ThreadGen) Phase() (wsScale, streamScale float64) {
 	return g.wsScale, g.streamScale
 }
 
-// Next generates the next instruction.
+// Next generates the next instruction. Crossing a chunk boundary
+// switches to the next substream eagerly, so the generator state after
+// chunk k's last instruction is exactly chunk k+1's start state.
 func (g *ThreadGen) Next() Instr {
 	g.instructions++
-	if !g.rng.Bool(g.spec.MemRatio) {
-		return Instr{}
+	var in Instr
+	if g.rng.Bool(g.spec.MemRatio) {
+		in = g.memInstr()
 	}
-	return g.memInstr()
+	if g.instructions&chunkMask == 0 {
+		g.enterChunk(g.instructions / ChunkInstructions)
+	}
+	return in
 }
 
 // NextRun implements RunSource: it consumes up to max instructions,
@@ -275,14 +391,35 @@ func (g *ThreadGen) Next() Instr {
 // run ended on a memory access, that access (IsMem true). The generator
 // draws exactly one Bernoulli sample per instruction either way, so a
 // NextRun-driven stream is bit-identical — including RNG state — to the
-// same stream pulled one Next at a time. The Bernoulli compare uses the
-// precomputed integer threshold (see memThresh), which decides
-// Float64() < MemRatio without the float conversion; the degenerate
-// ratios take the same draw-free paths as Rand.Bool.
+// same stream pulled one Next at a time. Runs are internally split at
+// chunk boundaries so the eager substream switch happens at exactly the
+// same instruction as under Next.
 func (g *ThreadGen) NextRun(max uint64) (nonMem uint64, in Instr) {
 	if max == 0 {
 		return 0, Instr{}
 	}
+	for {
+		span := uint64(ChunkInstructions) - (g.instructions & chunkMask)
+		if left := max - nonMem; span > left {
+			span = left
+		}
+		n, in := g.runSpan(span)
+		nonMem += n
+		if g.instructions&chunkMask == 0 {
+			g.enterChunk(g.instructions / ChunkInstructions)
+		}
+		if in.IsMem || nonMem == max {
+			return nonMem, in
+		}
+	}
+}
+
+// runSpan is NextRun's body for a run that never crosses a chunk
+// boundary. The Bernoulli compare uses the precomputed integer
+// threshold (see memThresh), which decides Float64() < MemRatio without
+// the float conversion; the degenerate ratios take the same draw-free
+// paths as Rand.Bool.
+func (g *ThreadGen) runSpan(max uint64) (nonMem uint64, in Instr) {
 	p := g.spec.MemRatio
 	if p <= 0 {
 		g.instructions += max
