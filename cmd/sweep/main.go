@@ -15,6 +15,22 @@
 // journaled to DIR and a rerun (after a crash, a kill, or ctrl-C) skips
 // the finished cells. -cell-timeout, -stall-timeout and -retries bound
 // and retry individual cells.
+//
+// Cell sweeps can also be distributed across worker processes:
+//
+//	sweep -kind cache -exec-workers 4            # 4 local subprocesses
+//	sweep -worker :9090                          # serve cells over HTTP
+//	sweep -kind cache -worker-url http://h:9090  # use remote workers
+//
+// The coordinator leases cells to workers, re-dispatches on worker
+// death or silence, and falls back to in-process execution when no
+// worker is reachable, so a distributed sweep produces the same
+// results (and the same resume journal, byte for byte) as a local one.
+//
+// Exit codes: 0 when every cell succeeded, 3 when the sweep finished
+// but some cells failed (partial results were still printed and
+// journaled), 1 on a hard error (bad flags, cancellation, every cell
+// failed).
 package main
 
 import (
@@ -23,18 +39,28 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"intracache/internal/core"
+	"intracache/internal/dsweep"
 	"intracache/internal/experiment"
 	"intracache/internal/fault"
 	"intracache/internal/profiling"
 	"intracache/internal/report"
 	"intracache/internal/trace"
+)
+
+// Exit codes (documented in README.md).
+const (
+	exitOK      = 0
+	exitHard    = 1
+	exitPartial = 3 // sweep completed, but some cells failed
 )
 
 func main() {
@@ -62,7 +88,18 @@ func main() {
 	shards := flag.Int("shards", 0, "time-shard each cell's runs into this many parallel shards (changes results and the resume journal identity; 0/1 = off)")
 	traceCacheMB := flag.Int("trace-cache-mb", 0, "segment-cache budget in MiB for -pipeline (0 = default 256, negative = no sharing)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the sweep to this file")
+	workerMode := flag.String("worker", "", `run as a sweep worker instead of a coordinator: "stdio" speaks the protocol on stdin/stdout, anything else is an HTTP listen address like ":9090"`)
+	execWorkers := flag.Int("exec-workers", 0, "distribute cells across this many local worker subprocesses (the binary re-execs itself with -worker stdio)")
+	workerURLs := flag.String("worker-url", "", "comma-separated base URLs of HTTP workers, e.g. http://a:9090,http://b:9090")
+	lease := flag.Duration("lease", 0, "distributed mode: declare a cell lost and re-dispatch it when its worker sends no heartbeat for this long (0 = 10s)")
+	chaosSpec := flag.String("chaos", "", `execution-fault plan injected into workers for chaos testing, e.g. "seed=7,kill=0.2,hang=0.1" (see internal/fault)`)
+	workerJournal := flag.String("worker-journal", "", "worker mode: journal each computed cell here before replying, so a dying worker's work is recoverable")
 	flag.Parse()
+
+	if *workerMode != "" {
+		runWorker(*workerMode, *workerJournal, *chaosSpec)
+		return
+	}
 
 	stopProfile := profiling.MustStartCPU(*pprofPath)
 	defer stopProfile()
@@ -120,8 +157,12 @@ func main() {
 		opts.JournalPath = filepath.Join(*resume, *kind+".journal")
 	}
 
+	distributed := *execWorkers > 0 || *workerURLs != ""
 	if *kind == "robust" {
-		runRobust(ctx, cfg, opts, *asJSON, *outPath)
+		if distributed {
+			fmt.Fprintln(os.Stderr, "sweep: -exec-workers/-worker-url apply to cell sweeps only; running robust in-process")
+		}
+		runRobust(ctx, cfg, opts, *asJSON, *outPath, stopProfile)
 		return
 	}
 
@@ -157,7 +198,19 @@ func main() {
 		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
 	}
 
-	results, err := experiment.SweepJournaled(ctx, points, *bench, baseline, candidate, opts)
+	var results []experiment.SweepResult
+	if distributed {
+		results, err = runDistributed(ctx, points, *bench, baseline, candidate, opts, distConfig{
+			execWorkers:  *execWorkers,
+			urls:         *workerURLs,
+			lease:        *lease,
+			chaos:        *chaosSpec,
+			resumeDir:    *resume,
+			localWorkers: *workers,
+		})
+	} else {
+		results, err = experiment.SweepJournaled(ctx, points, *bench, baseline, candidate, opts)
+	}
 	if err != nil {
 		reportInterrupted(err, opts.JournalPath)
 		fatal(err)
@@ -175,24 +228,189 @@ func main() {
 		if err := enc.Encode(sweepOutput{Results: results, TraceCache: cacheStats}); err != nil {
 			fatal(err)
 		}
+	} else {
+		t := report.NewTable(
+			fmt.Sprintf("%s sweep on %q: %s vs %s", *kind, *bench, *candName, *baseName),
+			"point", "baseline cycles", "dynamic cycles", "improvement %")
+		for _, r := range results {
+			if r.Err != nil {
+				t.AddRow(r.Label, "-", "-", fmt.Sprintf("error (%s): %v", errKind(r), r.Err))
+				continue
+			}
+			label := r.Label
+			if r.Resumed {
+				label += " (resumed)"
+			}
+			t.AddRow(label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
+		}
+		fmt.Print(t.String())
+		printTraceCacheSummary(cacheStats)
+	}
+
+	if failed, kinds := failureSummary(results); failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells failed (%s); partial results above\n",
+			failed, len(results), kinds)
+		stopProfile()
+		os.Exit(exitPartial)
+	}
+}
+
+// runWorker turns the process into a sweep worker: "stdio" serves the
+// cell protocol on stdin/stdout (how -exec-workers coordinators drive
+// it), anything else is an HTTP listen address.
+func runWorker(mode, journalPath, chaosSpec string) {
+	opts := dsweep.ServeOptions{
+		JournalPath: journalPath,
+		Log: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if chaosSpec != "" {
+		plan, err := fault.ParseExecPlan(chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Chaos = plan
+	}
+	if mode == "stdio" {
+		if err := dsweep.ServeStdio(context.Background(), opts); err != nil {
+			fatal(err)
+		}
 		return
 	}
-	t := report.NewTable(
-		fmt.Sprintf("%s sweep on %q: %s vs %s", *kind, *bench, *candName, *baseName),
-		"point", "baseline cycles", "dynamic cycles", "improvement %")
+	handler, err := dsweep.NewHandler(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: worker listening on %s\n", mode)
+	if err := http.ListenAndServe(mode, handler); err != nil {
+		fatal(err)
+	}
+}
+
+// distConfig carries the distributed-mode flags into runDistributed.
+type distConfig struct {
+	execWorkers  int
+	urls         string
+	lease        time.Duration
+	chaos        string
+	resumeDir    string
+	localWorkers int
+}
+
+// runDistributed shards the sweep's cells across worker processes via
+// the dsweep coordinator and reports its accounting on stderr. Local
+// subprocess workers journal next to the resume journal when -resume
+// is set (so their work survives a coordinator crash too), otherwise
+// in a temp directory that is cleaned up with the run.
+func runDistributed(ctx context.Context, points []experiment.SweepPoint, bench string,
+	baseline, candidate core.Policy, opts experiment.SweepOptions, dc distConfig) ([]experiment.SweepResult, error) {
+	var pool []dsweep.Worker
+	closeAll := func() {
+		for _, w := range pool {
+			w.Close()
+		}
+	}
+	if dc.execWorkers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		dir := dc.resumeDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "sweep-workers-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+		}
+		for i := 0; i < dc.execWorkers; i++ {
+			wj := filepath.Join(dir, fmt.Sprintf("worker%d.journal", i))
+			argv := []string{exe, "-worker", "stdio", "-worker-journal", wj}
+			if dc.chaos != "" {
+				argv = append(argv, "-chaos", dc.chaos)
+			}
+			w, err := dsweep.StartExecWorker(dsweep.ExecWorkerSpec{
+				Name:    fmt.Sprintf("exec%d", i),
+				Argv:    argv,
+				Journal: wj,
+			})
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			pool = append(pool, w)
+		}
+	}
+	for _, u := range strings.Split(dc.urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			pool = append(pool, &dsweep.HTTPWorker{BaseURL: strings.TrimRight(u, "/")})
+		}
+	}
+	defer closeAll()
+
+	results, stats, err := dsweep.Run(ctx, points, bench, baseline, candidate, dsweep.Options{
+		Workers:      pool,
+		JournalPath:  opts.JournalPath,
+		Cell:         opts.Cell,
+		Shards:       opts.Shards,
+		LocalWorkers: dc.localWorkers,
+		Lease:        dc.lease,
+		Log: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return results, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"sweep: distributed: %d cells (%d resumed, %d computed, %d recovered, %d local), %d dispatches (%d re-dispatched), %d workers lost\n",
+		stats.Cells, stats.Resumed, stats.Computed, stats.Recovered, stats.Local,
+		stats.Dispatches, stats.Redispatches, stats.WorkersRetired)
+	if len(stats.ErrKinds) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: dispatch failures by kind: %s\n", kindCounts(stats.ErrKinds))
+	}
+	if stats.Degraded {
+		fmt.Fprintln(os.Stderr, "sweep: degraded: cells ran in-process because no worker was reachable")
+	}
+	return results, nil
+}
+
+// errKind renders a result's taxonomy kind, defaulting the legacy
+// in-process paths that predate classification.
+func errKind(r experiment.SweepResult) string {
+	if r.ErrKind != "" {
+		return r.ErrKind
+	}
+	return experiment.CellErrorKind(r.Err)
+}
+
+// failureSummary counts failed cells and formats the taxonomy
+// breakdown, e.g. `2 stalled, 1 worker-died`.
+func failureSummary(results []experiment.SweepResult) (int, string) {
+	kinds := map[string]int{}
+	failed := 0
 	for _, r := range results {
 		if r.Err != nil {
-			t.AddRow(r.Label, "-", "-", "error: "+r.Err.Error())
-			continue
+			failed++
+			kinds[errKind(r)]++
 		}
-		label := r.Label
-		if r.Resumed {
-			label += " (resumed)"
-		}
-		t.AddRow(label, r.BaselineCycles, r.DynamicCycles, r.ImprovementPct)
 	}
-	fmt.Print(t.String())
-	printTraceCacheSummary(cacheStats)
+	return failed, kindCounts(kinds)
+}
+
+// kindCounts formats a kind->count map in the taxonomy's canonical
+// order so summaries are stable run to run.
+func kindCounts(kinds map[string]int) string {
+	var parts []string
+	for _, k := range []string{experiment.KindStalled, experiment.KindDeadline,
+		experiment.KindWorkerDied, experiment.KindCorrupt,
+		experiment.KindCancelled, experiment.KindFailed} {
+		if n := kinds[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, k))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // sweepOutput is the -out / -json payload: the per-point results plus
@@ -235,8 +453,10 @@ func reportInterrupted(err error, journalPath string) {
 
 // runRobust sweeps policies × fault levels over all nine benchmarks.
 // Any plan built from -fault-* flags is added as a fifth "custom"
-// level on top of the canonical ladder.
-func runRobust(ctx context.Context, cfg experiment.Config, opts experiment.SweepOptions, asJSON bool, outPath string) {
+// level on top of the canonical ladder. Exits exitPartial when some
+// cells failed.
+func runRobust(ctx context.Context, cfg experiment.Config, opts experiment.SweepOptions,
+	asJSON bool, outPath string, stopProfile func()) {
 	levels := experiment.DefaultFaultLevels()
 	if cfg.Fault != nil {
 		levels = append(levels, experiment.FaultLevel{Name: "custom", Plan: *cfg.Fault})
@@ -252,32 +472,36 @@ func runRobust(ctx context.Context, cfg experiment.Config, opts experiment.Sweep
 			fatal(err)
 		}
 	}
+	failed, kinds := 0, map[string]int{}
+	for _, c := range cells {
+		if c.Err != nil {
+			failed++
+			kinds[experiment.CellErrorKind(c.Err)]++
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%s: %v\n", c.Benchmark, c.Policy, c.Level, c.Err)
+		}
+	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(cells); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	failed := 0
-	for _, c := range cells {
-		if c.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%s: %v\n", c.Benchmark, c.Policy, c.Level, c.Err)
+	} else {
+		rows, cols, vals := experiment.RobustnessMatrix(cells)
+		fmt.Print(report.Matrix(
+			"robustness: mean improvement over clean shared cache (%), policies x fault levels",
+			rows, cols, vals))
+		fmt.Println()
+		for _, level := range cols {
+			hc := experiment.HealthCounts(cells, core.PolicyModelBased, level)
+			fmt.Printf("model-based health at %-12s %v\n", level+":", hc)
 		}
 	}
-	rows, cols, vals := experiment.RobustnessMatrix(cells)
-	fmt.Print(report.Matrix(
-		"robustness: mean improvement over clean shared cache (%), policies x fault levels",
-		rows, cols, vals))
-	fmt.Println()
-	for _, level := range cols {
-		hc := experiment.HealthCounts(cells, core.PolicyModelBased, level)
-		fmt.Printf("model-based health at %-12s %v\n", level+":", hc)
-	}
 	if failed > 0 {
-		fmt.Printf("\n%d/%d cells failed (see stderr)\n", failed, len(cells))
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells failed (%s); partial results above\n",
+			failed, len(cells), kindCounts(kinds))
+		stopProfile()
+		os.Exit(exitPartial)
 	}
 }
 

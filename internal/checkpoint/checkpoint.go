@@ -75,27 +75,24 @@ type Snapshot struct {
 	Fault   *fault.State
 }
 
-// Encode serializes a snapshot into the enveloped binary form.
-func Encode(snap *Snapshot) ([]byte, error) {
-	if snap == nil {
-		return nil, fmt.Errorf("checkpoint: nil snapshot")
-	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
-		return nil, fmt.Errorf("checkpoint: encoding: %w", err)
-	}
-	out := make([]byte, headerLen+payload.Len())
+// Seal wraps an arbitrary payload in the envelope: magic, version,
+// length, CRC64-ECMA, payload. The same framing protects checkpoint
+// snapshots on disk and sweep-cell results on the wire between dsweep
+// workers and the coordinator — any truncation or bit flip is caught by
+// Unseal before the payload is interpreted.
+func Seal(payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
 	copy(out, magic)
 	out[4] = version
-	binary.LittleEndian.PutUint64(out[5:], uint64(payload.Len()))
-	binary.LittleEndian.PutUint64(out[13:], crc64.Checksum(payload.Bytes(), crcTable))
-	copy(out[headerLen:], payload.Bytes())
-	return out, nil
+	binary.LittleEndian.PutUint64(out[5:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[13:], crc64.Checksum(payload, crcTable))
+	copy(out[headerLen:], payload)
+	return out
 }
 
-// Decode parses and validates an enveloped snapshot. Truncated,
+// Unseal validates an envelope and returns its payload. Truncated,
 // bit-flipped, or wrong-version inputs return errors; no input panics.
-func Decode(data []byte) (*Snapshot, error) {
+func Unseal(data []byte) ([]byte, error) {
 	if len(data) < headerLen {
 		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than the %d-byte header", len(data), headerLen)
 	}
@@ -116,6 +113,27 @@ func Decode(data []byte) (*Snapshot, error) {
 	payload := data[headerLen:]
 	if got := crc64.Checksum(payload, crcTable); got != want {
 		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %016x, computed %016x)", want, got)
+	}
+	return payload, nil
+}
+
+// Encode serializes a snapshot into the enveloped binary form.
+func Encode(snap *Snapshot) ([]byte, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("checkpoint: nil snapshot")
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	return Seal(payload.Bytes()), nil
+}
+
+// Decode parses and validates an enveloped snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	payload, err := Unseal(data)
+	if err != nil {
+		return nil, err
 	}
 	var snap Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {

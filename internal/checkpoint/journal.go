@@ -38,8 +38,7 @@ type journalEntry struct {
 // a key supersede earlier ones (a retried cell appends again). The
 // fingerprint must match the header of an existing journal.
 func OpenJournal(path, fingerprint string) (*Journal, map[string]json.RawMessage, error) {
-	entries := make(map[string]json.RawMessage)
-	data, err := os.ReadFile(path)
+	entries, err := replayJournal(path, fingerprint)
 	switch {
 	case os.IsNotExist(err):
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
@@ -54,19 +53,48 @@ func OpenJournal(path, fingerprint string) (*Journal, map[string]json.RawMessage
 			f.Close()
 			return nil, nil, fmt.Errorf("checkpoint: syncing journal: %w", err)
 		}
-		return &Journal{f: f, path: path, keys: make(map[string]bool)}, entries, nil
+		return &Journal{f: f, path: path, keys: make(map[string]bool)}, map[string]json.RawMessage{}, nil
 	case err != nil:
-		return nil, nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+		return nil, nil, err
 	}
+	keys := make(map[string]bool, len(entries))
+	for k := range entries {
+		keys[k] = true
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reopening journal: %w", err)
+	}
+	return &Journal{f: f, path: path, keys: keys}, entries, nil
+}
 
+// ReadJournal replays the journal at path without opening it for
+// appending, returning the surviving entries. The same crash-tolerance
+// rules as OpenJournal apply: a torn final line is dropped, corruption
+// anywhere earlier is a hard error. A missing file satisfies
+// os.IsNotExist for callers that treat it as "no work recorded yet".
+func ReadJournal(path, fingerprint string) (map[string]json.RawMessage, error) {
+	return replayJournal(path, fingerprint)
+}
+
+// replayJournal is the shared read path: header check, fingerprint
+// check, per-line CRC validation, torn-final-line tolerance.
+func replayJournal(path, fingerprint string) (map[string]json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+	}
 	lines := strings.Split(string(data), "\n")
 	if len(lines) == 0 || !strings.HasPrefix(lines[0], journalHeader+" ") {
-		return nil, nil, fmt.Errorf("checkpoint: %s is not a journal (bad header)", path)
+		return nil, fmt.Errorf("checkpoint: %s is not a journal (bad header)", path)
 	}
 	if got := strings.TrimPrefix(lines[0], journalHeader+" "); got != fingerprint {
-		return nil, nil, fmt.Errorf("checkpoint: journal was written under a different configuration (fingerprint %q, want %q)", got, fingerprint)
+		return nil, fmt.Errorf("checkpoint: journal was written under a different configuration (fingerprint %q, want %q)", got, fingerprint)
 	}
-	keys := make(map[string]bool)
+	entries := make(map[string]json.RawMessage)
 	for i := 1; i < len(lines); i++ {
 		line := lines[i]
 		if line == "" && i == len(lines)-1 {
@@ -77,16 +105,11 @@ func OpenJournal(path, fingerprint string) (*Journal, map[string]json.RawMessage
 			if i == len(lines)-1 {
 				break // torn final append from a crash; drop it
 			}
-			return nil, nil, fmt.Errorf("checkpoint: journal line %d: %w", i+1, err)
+			return nil, fmt.Errorf("checkpoint: journal line %d: %w", i+1, err)
 		}
 		entries[entry.K] = entry.V
-		keys[entry.K] = true
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("checkpoint: reopening journal: %w", err)
-	}
-	return &Journal{f: f, path: path, keys: keys}, entries, nil
+	return entries, nil
 }
 
 func parseJournalLine(line string) (journalEntry, error) {

@@ -1,0 +1,131 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"intracache/internal/atomicfile"
+)
+
+// Journal merging backs the distributed sweep: the coordinator and each
+// local worker keep their own append-only journals, and at completion
+// (or after a crash, on resume) they are folded into one canonical
+// journal. Canonical means key-sorted with exactly one line per key, so
+// two sweeps that computed the same cells — no matter how the work was
+// scheduled, retried, or recovered — produce byte-identical files.
+
+// MergeStats reports what a merge did.
+type MergeStats struct {
+	// Entries is the total number of keys in the merged journal.
+	Entries int
+	// Added counts keys contributed by the sources that the destination
+	// did not already have.
+	Added int
+	// Duplicates counts source entries whose key was already present
+	// with an identical value (harmless overlap: the same cell computed
+	// or journaled twice).
+	Duplicates int
+	// Conflicts counts source entries whose key was already present
+	// with a *different* value. The earlier value wins; a non-zero count
+	// means two journals disagree about a cell and deserves attention.
+	Conflicts int
+	// MissingSources counts source paths that did not exist (a worker
+	// that died before journaling anything).
+	MissingSources int
+	// Dropped counts entries removed by the MergeOptions.Drop filter.
+	Dropped int
+}
+
+// MergeOptions tunes MergeJournalFiles.
+type MergeOptions struct {
+	// Drop, when non-nil, is consulted for every merged key; returning
+	// true removes the entry from the canonical output. The full merged
+	// entry set is provided so a filter can drop an entry based on the
+	// presence of another (e.g. a recorded failure superseded by a later
+	// success).
+	Drop func(key string, entries map[string]json.RawMessage) bool
+}
+
+// MergeJournalFiles merges the journals at srcs into the journal at
+// dst, deduplicating by key (dst first, then sources in order; the
+// first value seen for a key wins), and rewrites dst in canonical form
+// atomically (temp file + rename, so a crash mid-merge leaves the old
+// dst intact). A missing dst starts empty; missing sources are skipped
+// and counted. Every journal involved must carry the given fingerprint.
+func MergeJournalFiles(dst, fingerprint string, opts MergeOptions, srcs ...string) (MergeStats, error) {
+	var st MergeStats
+	merged, err := ReadJournal(dst, fingerprint)
+	switch {
+	case os.IsNotExist(err):
+		merged = make(map[string]json.RawMessage)
+	case err != nil:
+		return st, err
+	}
+	for _, src := range srcs {
+		entries, err := ReadJournal(src, fingerprint)
+		switch {
+		case os.IsNotExist(err):
+			st.MissingSources++
+			continue
+		case err != nil:
+			return st, err
+		}
+		// Iterate in sorted order so conflict resolution (and therefore
+		// the stats) is deterministic regardless of map iteration.
+		for _, k := range sortedKeys(entries) {
+			v := entries[k]
+			have, ok := merged[k]
+			switch {
+			case !ok:
+				merged[k] = v
+				st.Added++
+			case bytes.Equal(have, v):
+				st.Duplicates++
+			default:
+				st.Conflicts++
+			}
+		}
+	}
+	if opts.Drop != nil {
+		for _, k := range sortedKeys(merged) {
+			if opts.Drop(k, merged) {
+				delete(merged, k)
+				st.Dropped++
+			}
+		}
+	}
+	st.Entries = len(merged)
+	if err := WriteJournal(dst, fingerprint, merged); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// WriteJournal writes entries as a canonical journal: header line, then
+// one checksummed line per key in sorted order, written atomically. The
+// result replays identically through OpenJournal/ReadJournal.
+func WriteJournal(path, fingerprint string, entries map[string]json.RawMessage) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s\n", journalHeader, fingerprint)
+	for _, k := range sortedKeys(entries) {
+		body, err := json.Marshal(journalEntry{K: k, V: entries[k]})
+		if err != nil {
+			return fmt.Errorf("checkpoint: encoding journal entry %q: %w", k, err)
+		}
+		fmt.Fprintf(&buf, "%08x %s\n", crc32.ChecksumIEEE(body), body)
+	}
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

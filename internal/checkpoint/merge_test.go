@@ -1,0 +1,258 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestJournal creates a journal at path with the given key/value
+// pairs appended in order.
+func writeTestJournal(t *testing.T, path string, pairs ...[2]string) {
+	t.Helper()
+	jr, _, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	defer jr.Close()
+	for _, p := range pairs {
+		if err := jr.Append(p[0], p[1]); err != nil {
+			t.Fatalf("Append(%s): %v", p[0], err)
+		}
+	}
+}
+
+func TestMergeJournalsOverlapping(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	w1 := filepath.Join(dir, "w1.journal")
+	w2 := filepath.Join(dir, "w2.journal")
+	writeTestJournal(t, dst, [2]string{"cell/0", "r0"})
+	// w1 overlaps dst on cell/0 (same value) and adds cell/1; w2
+	// overlaps w1 on cell/1 and adds cell/2.
+	writeTestJournal(t, w1, [2]string{"cell/0", "r0"}, [2]string{"cell/1", "r1"})
+	writeTestJournal(t, w2, [2]string{"cell/1", "r1"}, [2]string{"cell/2", "r2"})
+
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{}, w1, w2)
+	if err != nil {
+		t.Fatalf("MergeJournalFiles: %v", err)
+	}
+	if st.Entries != 3 || st.Added != 2 || st.Duplicates != 2 || st.Conflicts != 0 {
+		t.Fatalf("MergeStats = %+v, want 3 entries / 2 added / 2 duplicates / 0 conflicts", st)
+	}
+	entries, err := ReadJournal(dst, testFP)
+	if err != nil {
+		t.Fatalf("ReadJournal(merged): %v", err)
+	}
+	for i, want := range []string{"r0", "r1", "r2"} {
+		var got string
+		key := []string{"cell/0", "cell/1", "cell/2"}[i]
+		if err := json.Unmarshal(entries[key], &got); err != nil || got != want {
+			t.Fatalf("merged %s = %q (%v), want %q", key, got, err, want)
+		}
+	}
+}
+
+// A duplicate key with a *different* value is a conflict: the earlier
+// journal wins, the conflict is counted, and no second copy of the
+// fingerprinted cell is merged.
+func TestMergeJournalsConflictingDuplicateKeys(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	src := filepath.Join(dir, "w.journal")
+	writeTestJournal(t, dst, [2]string{"cell/0", "authoritative"})
+	writeTestJournal(t, src, [2]string{"cell/0", "imposter"})
+
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{}, src)
+	if err != nil {
+		t.Fatalf("MergeJournalFiles: %v", err)
+	}
+	if st.Conflicts != 1 || st.Added != 0 || st.Entries != 1 {
+		t.Fatalf("MergeStats = %+v, want exactly one conflict and one entry", st)
+	}
+	entries, err := ReadJournal(dst, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := json.Unmarshal(entries["cell/0"], &got); err != nil || got != "authoritative" {
+		t.Fatalf("conflicted key merged as %q, want the destination's value", got)
+	}
+}
+
+// A worker killed mid-append leaves a torn final record in its journal;
+// the merge must salvage the complete entries and drop the debris.
+func TestMergeJournalTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	src := filepath.Join(dir, "killed-worker.journal")
+	writeTestJournal(t, dst)
+	writeTestJournal(t, src, [2]string{"cell/0", "done"})
+	f, err := os.OpenFile(src, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"k":"cell/1","v":"ha`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{}, src)
+	if err != nil {
+		t.Fatalf("MergeJournalFiles over torn journal: %v", err)
+	}
+	if st.Added != 1 || st.Entries != 1 {
+		t.Fatalf("MergeStats = %+v, want just the complete entry", st)
+	}
+	entries, err := ReadJournal(dst, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries["cell/0"] == nil {
+		t.Fatalf("merged entries = %v, want only cell/0", entries)
+	}
+}
+
+// Merging into a journal that is later reopened and appended to (the
+// resume path) must keep both the merged and the new entries.
+func TestMergeAfterResume(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	src := filepath.Join(dir, "w.journal")
+	writeTestJournal(t, dst, [2]string{"cell/0", "r0"})
+	writeTestJournal(t, src, [2]string{"cell/1", "r1"})
+	if _, err := MergeJournalFiles(dst, testFP, MergeOptions{}, src); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+
+	// Resume: reopen the canonical journal, do more work, merge again.
+	jr, entries, err := OpenJournal(dst, testFP)
+	if err != nil {
+		t.Fatalf("OpenJournal after merge: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("resumed with %d entries, want 2", len(entries))
+	}
+	if err := jr.Append("cell/2", "r2"); err != nil {
+		t.Fatalf("Append after resume: %v", err)
+	}
+	jr.Close()
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{}, src)
+	if err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	if st.Entries != 3 || st.Added != 0 || st.Duplicates != 1 {
+		t.Fatalf("MergeStats after resume = %+v, want 3 entries / 0 added / 1 duplicate", st)
+	}
+}
+
+// Two runs that completed the same cells in different orders must merge
+// to byte-identical canonical journals.
+func TestMergeCanonicalBytesOrderIndependent(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.journal")
+	b := filepath.Join(dir, "b.journal")
+	writeTestJournal(t, a, [2]string{"cell/2", "r2"}, [2]string{"cell/0", "r0"}, [2]string{"cell/1", "r1"})
+	writeTestJournal(t, b, [2]string{"cell/0", "r0"}, [2]string{"cell/1", "r1"}, [2]string{"cell/2", "r2"})
+	for _, p := range []string{a, b} {
+		if _, err := MergeJournalFiles(p, testFP, MergeOptions{}); err != nil {
+			t.Fatalf("canonicalize %s: %v", p, err)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatalf("canonical journals differ:\n%s\nvs\n%s", da, db)
+	}
+	if !strings.HasPrefix(string(da), journalHeader+" "+testFP+"\n") {
+		t.Fatalf("canonical journal lost its header: %q", da)
+	}
+}
+
+func TestMergeDropFilter(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	writeTestJournal(t, dst,
+		[2]string{"cell/0", "r0"},
+		[2]string{"fail/cell/0", "stalled"},
+		[2]string{"fail/cell/1", "worker-died"})
+	drop := func(key string, entries map[string]json.RawMessage) bool {
+		rest, ok := strings.CutPrefix(key, "fail/")
+		return ok && entries[rest] != nil // failure superseded by success
+	}
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{Drop: drop})
+	if err != nil {
+		t.Fatalf("MergeJournalFiles: %v", err)
+	}
+	if st.Dropped != 1 || st.Entries != 2 {
+		t.Fatalf("MergeStats = %+v, want 1 dropped / 2 entries", st)
+	}
+	entries, err := ReadJournal(dst, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries["fail/cell/0"] != nil || entries["fail/cell/1"] == nil || entries["cell/0"] == nil {
+		t.Fatalf("drop filter kept the wrong entries: %v", entries)
+	}
+}
+
+func TestMergeFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	src := filepath.Join(dir, "w.journal")
+	writeTestJournal(t, dst, [2]string{"cell/0", "r0"})
+	jr, _, err := OpenJournal(src, "feedfacefeedface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	if _, err := MergeJournalFiles(dst, testFP, MergeOptions{}, src); err == nil {
+		t.Fatal("MergeJournalFiles accepted a source with a different fingerprint")
+	}
+}
+
+func TestMergeMissingSourceSkipped(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "main.journal")
+	writeTestJournal(t, dst, [2]string{"cell/0", "r0"})
+	st, err := MergeJournalFiles(dst, testFP, MergeOptions{}, filepath.Join(dir, "never-wrote.journal"))
+	if err != nil {
+		t.Fatalf("MergeJournalFiles: %v", err)
+	}
+	if st.MissingSources != 1 || st.Entries != 1 {
+		t.Fatalf("MergeStats = %+v, want 1 missing source / 1 entry", st)
+	}
+}
+
+func TestSealUnsealRoundTripAndCorruption(t *testing.T) {
+	payload := []byte(`{"Key":"cell/3","ImprovementPct":12.5}`)
+	sealed := Seal(payload)
+	got, err := Unseal(sealed)
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Unseal = %q, want %q", got, payload)
+	}
+	// A flipped payload bit must be caught by the CRC.
+	flipped := append([]byte(nil), sealed...)
+	flipped[len(flipped)-1] ^= 0x40
+	if _, err := Unseal(flipped); err == nil {
+		t.Fatal("Unseal accepted a corrupted payload")
+	}
+	// Truncation must be caught by the length field.
+	if _, err := Unseal(sealed[:len(sealed)-3]); err == nil {
+		t.Fatal("Unseal accepted a truncated payload")
+	}
+	if _, err := Unseal(sealed[:5]); err == nil {
+		t.Fatal("Unseal accepted a sub-header payload")
+	}
+}

@@ -1,0 +1,182 @@
+package dsweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"intracache/internal/experiment"
+)
+
+// ExecWorkerSpec describes one local worker subprocess.
+type ExecWorkerSpec struct {
+	// Name identifies the worker in logs and lease records; defaults to
+	// the argv and pid.
+	Name string
+	// Argv is the command line; Argv[0] is the binary. cmd/sweep
+	// re-execs itself with `-worker stdio`.
+	Argv []string
+	// Env is extra environment appended to the parent's.
+	Env []string
+	// Journal is the worker's local journal path ("" = none). It is the
+	// coordinator's view of the same path the worker was told to write,
+	// enabling dead-worker recovery and the final merge.
+	Journal string
+}
+
+// ExecWorker runs the protocol over a subprocess's stdin/stdout. One
+// task is in flight at a time; stderr passes through to the parent's.
+type ExecWorker struct {
+	spec ExecWorkerSpec
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	// frames carries every frame the worker emits; closed when its
+	// stdout ends (i.e. the process died or finished).
+	frames chan frame
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type frame struct {
+	kind    string
+	payload []byte
+}
+
+// StartExecWorker launches the subprocess and wires the protocol.
+func StartExecWorker(spec ExecWorkerSpec) (*ExecWorker, error) {
+	if len(spec.Argv) == 0 {
+		return nil, fmt.Errorf("dsweep: exec worker needs an argv")
+	}
+	cmd := exec.Command(spec.Argv[0], spec.Argv[1:]...)
+	cmd.Env = append(os.Environ(), spec.Env...)
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &ExecWorker{spec: spec, cmd: cmd, in: in, frames: make(chan frame, 16)}
+	go w.readLoop(out)
+	return w, nil
+}
+
+// readLoop pumps worker frames into the channel and reaps the process
+// once its stdout closes, so dead workers surface as a closed channel
+// rather than a blocked read.
+func (w *ExecWorker) readLoop(out io.Reader) {
+	sc := newFrameScanner(out)
+	for {
+		kind, payload, err := readFrame(sc)
+		if err != nil {
+			break
+		}
+		w.frames <- frame{kind: kind, payload: payload}
+	}
+	close(w.frames)
+	w.cmd.Wait()
+}
+
+// Name identifies the worker.
+func (w *ExecWorker) Name() string {
+	if w.spec.Name != "" {
+		return w.spec.Name
+	}
+	return fmt.Sprintf("exec:%s/pid=%d", w.spec.Argv[0], w.cmd.Process.Pid)
+}
+
+// JournalPath is the worker's local journal ("" if none).
+func (w *ExecWorker) JournalPath() string { return w.spec.Journal }
+
+// Ping verifies the worker answers the protocol.
+func (w *ExecWorker) Ping(ctx context.Context) error {
+	if err := w.write(framePing, nil); err != nil {
+		return fmt.Errorf("%w: %v", experiment.ErrWorkerDied, err)
+	}
+	select {
+	case f, ok := <-w.frames:
+		if !ok {
+			return fmt.Errorf("%w: %s exited during probe", experiment.ErrWorkerDied, w.Name())
+		}
+		if f.kind != framePong {
+			return fmt.Errorf("dsweep: %s answered probe with %q", w.Name(), f.kind)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run dispatches one task and blocks until its result, feeding onBeat
+// on every heartbeat. It returns experiment.ErrWorkerDied (wrapped)
+// when the process vanished, experiment.ErrResultCorrupt when the
+// reply failed the envelope check, and ctx.Err() when ctx (typically
+// the coordinator's lease) expired first. After any error the worker
+// must be Closed, not reused: the stream may hold a half-delivered
+// task.
+func (w *ExecWorker) Run(ctx context.Context, t Task, onBeat func()) (Result, error) {
+	payload, err := sealJSON(t)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := w.write(frameTask, payload); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", experiment.ErrWorkerDied, err)
+	}
+	for {
+		select {
+		case f, ok := <-w.frames:
+			if !ok {
+				return Result{}, fmt.Errorf("%w: %s exited mid-cell", experiment.ErrWorkerDied, w.Name())
+			}
+			switch f.kind {
+			case frameBeat:
+				if onBeat != nil {
+					onBeat()
+				}
+			case frameResult:
+				var res Result
+				if err := unsealJSON(f.payload, &res); err != nil {
+					return Result{}, fmt.Errorf("%w: from %s: %v", experiment.ErrResultCorrupt, w.Name(), err)
+				}
+				return res, nil
+			default:
+				return Result{}, fmt.Errorf("dsweep: unexpected %q frame from %s", f.kind, w.Name())
+			}
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+}
+
+func (w *ExecWorker) write(kind string, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("dsweep: worker closed")
+	}
+	return writeFrame(w.in, kind, payload)
+}
+
+// Close kills the subprocess. Idempotent.
+func (w *ExecWorker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.in.Close()
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	return nil
+}

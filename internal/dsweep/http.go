@@ -1,0 +1,180 @@
+package dsweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"intracache/internal/experiment"
+)
+
+// The HTTP worker mode maps the protocol onto two endpoints:
+//
+//	GET  /healthz  -> 200 "ok"            (the PING/PONG probe)
+//	POST /cell     -> streamed HB/RES frames for one sealed Task
+//
+// The response body is the same line-frame stream the stdio transport
+// uses, flushed per frame so heartbeats reach the coordinator while
+// the cell is still computing.
+
+// NewHandler serves the worker protocol over HTTP. Tasks are
+// serialized: the worker computes one cell at a time even if a
+// confused coordinator posts two.
+func NewHandler(opts ServeOptions) (http.Handler, error) {
+	srv, err := newServer(opts)
+	if err != nil {
+		return nil, err
+	}
+	h := &httpWorkerHandler{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/cell", h.cell)
+	return mux, nil
+}
+
+type httpWorkerHandler struct {
+	mu  sync.Mutex
+	srv *server
+}
+
+func (h *httpWorkerHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (h *httpWorkerHandler) cell(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var t Task
+	if err := unsealJSON(body, &t); err != nil {
+		http.Error(w, fmt.Sprintf("undecodable task: %v", err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriter(flushingWriter{w})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.srv.runTask(r.Context(), &t, bw); err != nil {
+		h.srv.logf("dsweep worker: task %s: %v", t.Key, err)
+	}
+}
+
+// flushingWriter flushes the HTTP response after every write so each
+// frame leaves the worker immediately (heartbeats are useless if they
+// sit in a buffer until the result is done).
+type flushingWriter struct{ w http.ResponseWriter }
+
+func (f flushingWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// HTTPWorker drives one remote worker over its HTTP endpoint.
+type HTTPWorker struct {
+	// BaseURL is the worker's root, e.g. "http://host:9090".
+	BaseURL string
+	// Client defaults to http.DefaultClient. It must not impose a
+	// global timeout: cells legitimately run for minutes while the
+	// lease, not the transport, bounds silence.
+	Client *http.Client
+	// Journal is the worker's local journal path as visible to the
+	// coordinator ("" when the filesystem is not shared).
+	Journal string
+}
+
+func (w *HTTPWorker) Name() string        { return w.BaseURL }
+func (w *HTTPWorker) JournalPath() string { return w.Journal }
+func (w *HTTPWorker) Close() error        { return nil }
+
+func (w *HTTPWorker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Ping probes /healthz.
+func (w *HTTPWorker) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", experiment.ErrWorkerDied, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dsweep: %s health probe: HTTP %d", w.BaseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// Run posts one task to /cell and consumes the frame stream until the
+// result. Error semantics match ExecWorker.Run.
+func (w *HTTPWorker) Run(ctx context.Context, t Task, onBeat func()) (Result, error) {
+	payload, err := sealJSON(t)
+	if err != nil {
+		return Result{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+"/cell", bytes.NewReader(payload))
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{}, fmt.Errorf("%w: %v", experiment.ErrWorkerDied, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return Result{}, fmt.Errorf("dsweep: %s rejected cell: HTTP %d: %s",
+			w.BaseURL, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	sc := newFrameScanner(resp.Body)
+	for {
+		kind, payload, err := readFrame(sc)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Result{}, ctx.Err()
+			}
+			return Result{}, fmt.Errorf("%w: %s stream ended before result (%v)",
+				experiment.ErrWorkerDied, w.BaseURL, err)
+		}
+		switch kind {
+		case frameBeat:
+			if onBeat != nil {
+				onBeat()
+			}
+		case frameResult:
+			var res Result
+			if err := unsealJSON(payload, &res); err != nil {
+				return Result{}, fmt.Errorf("%w: from %s: %v", experiment.ErrResultCorrupt, w.BaseURL, err)
+			}
+			return res, nil
+		default:
+			return Result{}, fmt.Errorf("dsweep: unexpected %q frame from %s", kind, w.BaseURL)
+		}
+	}
+}

@@ -52,6 +52,10 @@ type SweepResult struct {
 	Attempts int
 	Resumed  bool
 	Err      error
+	// ErrKind classifies Err into the cell error taxonomy (stalled /
+	// deadline / worker-died / corrupt / cancelled / failed); "" when
+	// the cell succeeded. See CellErrorKind.
+	ErrKind string
 }
 
 // Sweep runs baseline-vs-candidate on one benchmark across a set of

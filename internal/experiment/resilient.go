@@ -8,6 +8,7 @@ import (
 	"hash/crc64"
 	"io"
 	"io/fs"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -68,14 +69,23 @@ type RetryPolicy struct {
 	MaxDelay  time.Duration
 }
 
-func (p RetryPolicy) attempts() int {
+// MaxAttempts is the effective total number of tries (Attempts clamped
+// to at least 1); the dsweep coordinator uses it to budget re-dispatch.
+func (p RetryPolicy) MaxAttempts() int {
 	if p.Attempts <= 1 {
 		return 1
 	}
 	return p.Attempts
 }
 
-func (p RetryPolicy) backoff(retry int) time.Duration {
+// Backoff returns the delay before retry number retry (0-based) of the
+// cell identified by key: capped exponential growth with bounded
+// deterministic jitter. The jitter is ±25%, derived by hashing (key,
+// retry), so a batch of cells failing simultaneously (a dead worker's
+// whole lease set, a shared resource blip) spreads its retries out
+// instead of thundering back in lockstep — while any given cell's
+// retry schedule is exactly reproducible.
+func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = 100 * time.Millisecond
@@ -84,11 +94,18 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 	if cap <= 0 {
 		cap = 5 * time.Second
 	}
-	if retry > 30 {
-		return cap
+	d := cap
+	if retry <= 30 {
+		d = base << uint(retry)
+		if d <= 0 || d > cap {
+			d = cap
+		}
 	}
-	d := base << uint(retry)
-	if d <= 0 || d > cap {
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	fmt.Fprintf(h, "backoff\x00%s\x00%d", key, retry)
+	frac := float64(h.Sum64()>>11) / float64(uint64(1)<<53) // uniform [0,1)
+	d = time.Duration(float64(d) * (0.75 + 0.5*frac))
+	if d > cap {
 		d = cap
 	}
 	return d
@@ -105,16 +122,88 @@ type CellOptions struct {
 	Retry        RetryPolicy
 }
 
-// ErrCellStalled marks an attempt killed by the stall watchdog.
-var ErrCellStalled = errors.New("experiment: cell stalled (no interval progress)")
+// The cell error taxonomy. A failed cell is classified so the journal,
+// the sweep summary, and the distributed coordinator's retry logic can
+// tell a hung simulation from a slow one from a dead worker post-hoc:
+//
+//   - ErrCellStalled: the stall watchdog killed an attempt that made no
+//     interval progress (hung, not slow).
+//   - ErrCellDeadline: the attempt's hard wall-clock deadline expired
+//     (slow, not hung).
+//   - ErrWorkerDied: the process computing the cell died mid-cell
+//     (produced by the dsweep coordinator on worker exit or lease
+//     expiry, never by in-process execution).
+//   - ErrResultCorrupt: the cell computed but its result payload failed
+//     the CRC64 envelope check and was discarded, not merged.
+var (
+	ErrCellStalled   = errors.New("experiment: cell stalled (no interval progress)")
+	ErrCellDeadline  = errors.New("experiment: cell deadline exceeded")
+	ErrWorkerDied    = errors.New("experiment: worker died mid-cell")
+	ErrResultCorrupt = errors.New("experiment: cell result payload corrupt")
+)
+
+// Cell error kinds, the journal/summary rendering of the taxonomy.
+const (
+	KindStalled    = "stalled"
+	KindDeadline   = "deadline"
+	KindWorkerDied = "worker-died"
+	KindCorrupt    = "corrupt"
+	KindCancelled  = "cancelled"
+	KindFailed     = "failed"
+)
+
+// CellErrorKind classifies a cell error into the taxonomy above;
+// nil maps to "".
+func CellErrorKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCellStalled):
+		return KindStalled
+	case errors.Is(err, ErrCellDeadline), errors.Is(err, context.DeadlineExceeded):
+		return KindDeadline
+	case errors.Is(err, ErrWorkerDied):
+		return KindWorkerDied
+	case errors.Is(err, ErrResultCorrupt):
+		return KindCorrupt
+	case errors.Is(err, context.Canceled):
+		return KindCancelled
+	default:
+		return KindFailed
+	}
+}
+
+// KindError reconstructs a sentinel-wrapped error from a kind and
+// message that crossed a process boundary as strings (a dsweep worker's
+// failure report), so errors.Is classification keeps working on the
+// coordinator side.
+func KindError(kind, msg string) error {
+	switch kind {
+	case "":
+		return nil
+	case KindStalled:
+		return fmt.Errorf("%w: %s", ErrCellStalled, msg)
+	case KindDeadline:
+		return fmt.Errorf("%w: %s", ErrCellDeadline, msg)
+	case KindWorkerDied:
+		return fmt.Errorf("%w: %s", ErrWorkerDied, msg)
+	case KindCorrupt:
+		return fmt.Errorf("%w: %s", ErrResultCorrupt, msg)
+	case KindCancelled:
+		return fmt.Errorf("%w: %s", context.Canceled, msg)
+	default:
+		return errors.New(msg)
+	}
+}
 
 // runCell executes fn with the cell's deadline, stall watchdog and
 // retry policy applied. fn receives a derived context (cancelled on
 // deadline, stall, or parent cancellation) and a progress callback it
-// must invoke at interval boundaries to feed the watchdog. Returns how
-// many attempts ran and the final error.
-func runCell(ctx context.Context, opts CellOptions, fn func(ctx context.Context, progress func()) error) (attempts int, err error) {
-	tries := opts.Retry.attempts()
+// must invoke at interval boundaries to feed the watchdog. key
+// identifies the cell for backoff jitter. Returns how many attempts ran
+// and the final error.
+func runCell(ctx context.Context, key string, opts CellOptions, fn func(ctx context.Context, progress func()) error) (attempts int, err error) {
+	tries := opts.Retry.MaxAttempts()
 	for try := 0; try < tries; try++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if err == nil {
@@ -130,7 +219,7 @@ func runCell(ctx context.Context, opts CellOptions, fn func(ctx context.Context,
 			return attempts, err
 		}
 		if try+1 < tries {
-			t := time.NewTimer(opts.Retry.backoff(try))
+			t := time.NewTimer(opts.Retry.Backoff(key, try))
 			select {
 			case <-t.C:
 			case <-ctx.Done():
@@ -167,8 +256,13 @@ func runAttempt(ctx context.Context, opts CellOptions, fn func(ctx context.Conte
 		if r := recover(); r != nil {
 			err = fmt.Errorf("experiment: cell panicked: %v", r)
 		}
-		if stalled.Load() {
+		switch {
+		case stalled.Load():
 			err = fmt.Errorf("%w after %v", ErrCellStalled, opts.StallTimeout)
+		case err != nil && opts.Timeout > 0 && errors.Is(err, context.DeadlineExceeded):
+			// Both sentinels stay matchable: ErrCellDeadline for the
+			// taxonomy, context.DeadlineExceeded for existing callers.
+			err = fmt.Errorf("%w after %v: %w", ErrCellDeadline, opts.Timeout, err)
 		}
 	}()
 	return fn(attemptCtx, progress)
@@ -191,14 +285,88 @@ type SweepOptions struct {
 	Shards int
 }
 
-// sweepRecord is the journaled payload of one successful sweep cell.
-type sweepRecord struct {
+// CellRecord is the journaled payload of one successful sweep cell —
+// the exact bytes a dsweep worker ships back to the coordinator. It
+// depends only on the cell's configuration (simulations are
+// deterministic), never on where or how often the cell ran, which is
+// what makes journals mergeable and re-dispatch harmless.
+type CellRecord struct {
 	ImprovementPct float64
 	BaselineCycles uint64
 	DynamicCycles  uint64
 }
 
-func sweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate core.Policy, shards int) string {
+// failRecord is the journaled payload of a cell that exhausted its
+// retries, keyed under FailKeyPrefix so it never shadows a result.
+type failRecord struct {
+	Kind     string
+	Error    string
+	Attempts int
+}
+
+// leaseRecord is the journaled payload of one coordinator dispatch,
+// keyed under LeaseKeyPrefix.
+type leaseRecord struct {
+	Worker  string
+	Attempt int
+}
+
+// AppendCellFailure journals a cell's final failure under
+// FailKeyPrefix. SweepJournaled and the dsweep coordinator both go
+// through it so failure records have a single schema.
+func AppendCellFailure(jr *checkpoint.Journal, key string, err error, attempts int) error {
+	return jr.Append(FailKeyPrefix+key, failRecord{
+		Kind: CellErrorKind(err), Error: err.Error(), Attempts: attempts,
+	})
+}
+
+// AppendCellLease journals one coordinator dispatch of a cell (which
+// worker, which global attempt) under LeaseKeyPrefix, making
+// attempted-counts durable across coordinator crashes. Lease records
+// are transient: the canonical merge prunes them.
+func AppendCellLease(jr *checkpoint.Journal, key, worker string, attempt int) error {
+	return jr.Append(fmt.Sprintf("%s%s/%d", LeaseKeyPrefix, key, attempt),
+		leaseRecord{Worker: worker, Attempt: attempt})
+}
+
+// Journal key namespaces. Cell results live under bare CellKey keys;
+// everything else is transient bookkeeping that the canonical merge
+// prunes (see DropTransientJournalKeys).
+const (
+	// FailKeyPrefix + CellKey records a cell's final failure and its
+	// taxonomy kind, so a crashed sweep's post-mortem can tell stalls
+	// from deadlines from dead workers without re-running anything.
+	FailKeyPrefix = "fail/"
+	// LeaseKeyPrefix + CellKey records each coordinator dispatch of a
+	// cell (worker and attempt number), making attempted-counts durable
+	// across coordinator crashes.
+	LeaseKeyPrefix = "lease/"
+)
+
+// CellKey is the journal key of sweep cell i with the given label.
+func CellKey(i int, label string) string {
+	return fmt.Sprintf("cell/%d/%s", i, label)
+}
+
+// DropTransientJournalKeys is the canonical-merge filter for sweep
+// journals: lease records always go, and a recorded failure goes once
+// the same cell has a result (the success supersedes it). Pass it as
+// checkpoint.MergeOptions.Drop.
+func DropTransientJournalKeys(key string, entries map[string]json.RawMessage) bool {
+	if strings.HasPrefix(key, LeaseKeyPrefix) {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(key, FailKeyPrefix); ok {
+		return entries[rest] != nil
+	}
+	return false
+}
+
+// SweepFingerprint identifies a sweep: the full point list, benchmark,
+// policy pair and shard count, hashed. Journals carry it in their
+// header, dsweep tasks and results echo it, and both refuse to mix
+// state across different fingerprints.
+func SweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate core.Policy, shards int) string {
 	parts := []string{"sweep1", benchmark, baseline.String(), candidate.String()}
 	// Only a sharded sweep stamps its shard count, so journals written
 	// before sharding existed stay resumable.
@@ -211,6 +379,50 @@ func sweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate
 	return hashFingerprint(parts...)
 }
 
+// RunSweepCell executes one sweep cell — the baseline-vs-candidate
+// comparison at one point — under the cell's deadline, stall watchdog
+// and retry policy. It is the single compute path shared by the
+// in-process SweepJournaled and dsweep workers, which is what
+// guarantees a cell's CellRecord is identical no matter which process
+// computed it. onProgress, when non-nil, is called at every interval
+// boundary alongside the watchdog feed (dsweep workers emit heartbeats
+// from it). key identifies the cell for backoff jitter.
+func RunSweepCell(ctx context.Context, key string, cfg Config, benchmark string,
+	baseline, candidate core.Policy, shards int, opts CellOptions, onProgress func()) (CellRecord, int, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return CellRecord{}, 0, err
+	}
+	var rec CellRecord
+	attempts, err := runCell(ctx, key, opts, func(cellCtx context.Context, progress func()) error {
+		hook := func(int) error {
+			progress()
+			if onProgress != nil {
+				onProgress()
+			}
+			return nil
+		}
+		var c Comparison
+		var err error
+		if shards > 1 {
+			c, err = CompareSharded(cellCtx, cfg, prof, baseline, candidate,
+				ShardSpec{Shards: shards}, hook)
+		} else {
+			c, err = CompareCtx(cellCtx, cfg, prof, baseline, candidate, hook)
+		}
+		if err != nil {
+			return err
+		}
+		rec = CellRecord{
+			ImprovementPct: c.ImprovementPct,
+			BaselineCycles: c.BaselineCycles,
+			DynamicCycles:  c.CandidateCycles,
+		}
+		return nil
+	})
+	return rec, attempts, err
+}
+
 // SweepJournaled is Sweep with cancellation, per-cell deadlines and
 // retry, and an optional on-disk journal: cells already journaled by a
 // previous run are returned from the journal (Resumed=true) instead of
@@ -218,14 +430,14 @@ func sweepFingerprint(points []SweepPoint, benchmark string, baseline, candidate
 // lets in-flight cells observe their context, and returns ctx's error.
 func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 	baseline, candidate core.Policy, opts SweepOptions) ([]SweepResult, error) {
-	prof, err := workload.ByName(benchmark)
-	if err != nil {
+	if _, err := workload.ByName(benchmark); err != nil {
 		return nil, err
 	}
+	var err error
 	var jr *checkpoint.Journal
 	var prior map[string]json.RawMessage
 	if opts.JournalPath != "" {
-		fp := sweepFingerprint(points, benchmark, baseline, candidate, opts.Shards)
+		fp := SweepFingerprint(points, benchmark, baseline, candidate, opts.Shards)
 		jr, prior, err = checkpoint.OpenJournal(opts.JournalPath, fp)
 		if err != nil {
 			return nil, err
@@ -235,9 +447,9 @@ func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 	out := make([]SweepResult, len(points))
 	errs := forEachIndexCtx(ctx, len(points), opts.Workers, func(i int) error {
 		out[i] = SweepResult{Label: points[i].Label, Benchmark: benchmark}
-		key := fmt.Sprintf("cell/%d/%s", i, points[i].Label)
+		key := CellKey(i, points[i].Label)
 		if raw, ok := prior[key]; ok {
-			var rec sweepRecord
+			var rec CellRecord
 			if err := json.Unmarshal(raw, &rec); err == nil {
 				out[i].ImprovementPct = rec.ImprovementPct
 				out[i].BaselineCycles = rec.BaselineCycles
@@ -247,34 +459,22 @@ func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 			}
 			// Unreadable record: recompute the cell rather than fail.
 		}
-		attempts, err := runCell(ctx, opts.Cell, func(cellCtx context.Context, progress func()) error {
-			hook := func(int) error { progress(); return nil }
-			var c Comparison
-			var err error
-			if opts.Shards > 1 {
-				c, err = CompareSharded(cellCtx, points[i].Cfg, prof, baseline, candidate,
-					ShardSpec{Shards: opts.Shards}, hook)
-			} else {
-				c, err = CompareCtx(cellCtx, points[i].Cfg, prof, baseline, candidate, hook)
-			}
-			if err != nil {
-				return err
-			}
-			out[i].ImprovementPct = c.ImprovementPct
-			out[i].BaselineCycles = c.BaselineCycles
-			out[i].DynamicCycles = c.CandidateCycles
-			return nil
-		})
+		rec, attempts, err := RunSweepCell(ctx, key, points[i].Cfg, benchmark,
+			baseline, candidate, opts.Shards, opts.Cell, nil)
 		out[i].Attempts = attempts
 		if err != nil {
+			if jr != nil {
+				// Best-effort: the failure record aids post-mortems but
+				// must not mask the cell's own error.
+				AppendCellFailure(jr, key, err, attempts)
+			}
 			return err
 		}
+		out[i].ImprovementPct = rec.ImprovementPct
+		out[i].BaselineCycles = rec.BaselineCycles
+		out[i].DynamicCycles = rec.DynamicCycles
 		if jr != nil {
-			return jr.Append(key, sweepRecord{
-				ImprovementPct: out[i].ImprovementPct,
-				BaselineCycles: out[i].BaselineCycles,
-				DynamicCycles:  out[i].DynamicCycles,
-			})
+			return jr.Append(key, rec)
 		}
 		return nil
 	})
@@ -282,6 +482,7 @@ func SweepJournaled(ctx context.Context, points []SweepPoint, benchmark string,
 	for i, err := range errs {
 		if err != nil {
 			out[i].Err = err
+			out[i].ErrKind = CellErrorKind(err)
 			failed++
 		}
 	}
@@ -375,7 +576,7 @@ func RobustnessSweepJournaled(ctx context.Context, cfg Config, benchmarks []stri
 		}
 		c := cfg
 		c.Fault = nil
-		_, err = runCell(ctx, opts.Cell, func(cellCtx context.Context, progress func()) error {
+		_, err = runCell(ctx, key, opts.Cell, func(cellCtx context.Context, progress func()) error {
 			run, err := RunOneCtx(cellCtx, c, prof, core.PolicyShared, BySections,
 				func(int) error { progress(); return nil })
 			if err != nil {
@@ -432,7 +633,7 @@ func RobustnessSweepJournaled(ctx context.Context, cfg Config, benchmarks []stri
 			plan := levels[l].Plan
 			c.Fault = &plan
 		}
-		attempts, err := runCell(ctx, opts.Cell, func(cellCtx context.Context, progress func()) error {
+		attempts, err := runCell(ctx, key, opts.Cell, func(cellCtx context.Context, progress func()) error {
 			run, err := RunOneCtx(cellCtx, c, prof, policies[p], BySections,
 				func(int) error { progress(); return nil })
 			if err != nil {

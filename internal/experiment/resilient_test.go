@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"intracache/internal/checkpoint"
 	"intracache/internal/core"
 )
 
@@ -17,7 +19,7 @@ func fastRetry(attempts int) RetryPolicy {
 
 func TestRunCellRetriesTransientFailure(t *testing.T) {
 	calls := 0
-	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(4)},
+	attempts, err := runCell(context.Background(), "cell/test", CellOptions{Retry: fastRetry(4)},
 		func(ctx context.Context, progress func()) error {
 			calls++
 			if calls < 3 {
@@ -35,7 +37,7 @@ func TestRunCellRetriesTransientFailure(t *testing.T) {
 
 func TestRunCellRecoversPanics(t *testing.T) {
 	calls := 0
-	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(3)},
+	attempts, err := runCell(context.Background(), "cell/test", CellOptions{Retry: fastRetry(3)},
 		func(ctx context.Context, progress func()) error {
 			calls++
 			if calls == 1 {
@@ -53,7 +55,7 @@ func TestRunCellRecoversPanics(t *testing.T) {
 
 func TestRunCellExhaustsAttempts(t *testing.T) {
 	boom := errors.New("deterministic failure")
-	attempts, err := runCell(context.Background(), CellOptions{Retry: fastRetry(3)},
+	attempts, err := runCell(context.Background(), "cell/test", CellOptions{Retry: fastRetry(3)},
 		func(ctx context.Context, progress func()) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err=%v, want the cell's error", err)
@@ -65,7 +67,7 @@ func TestRunCellExhaustsAttempts(t *testing.T) {
 
 func TestRunCellNoRetryAfterParentCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	attempts, err := runCell(ctx, CellOptions{Retry: fastRetry(5)},
+	attempts, err := runCell(ctx, "cell/test", CellOptions{Retry: fastRetry(5)},
 		func(cellCtx context.Context, progress func()) error {
 			cancel()
 			return errors.New("failed while shutting down")
@@ -79,7 +81,7 @@ func TestRunCellNoRetryAfterParentCancel(t *testing.T) {
 }
 
 func TestRunCellDeadline(t *testing.T) {
-	attempts, err := runCell(context.Background(),
+	attempts, err := runCell(context.Background(), "cell/test",
 		CellOptions{Timeout: 10 * time.Millisecond, Retry: fastRetry(2)},
 		func(cellCtx context.Context, progress func()) error {
 			<-cellCtx.Done()
@@ -96,7 +98,7 @@ func TestRunCellDeadline(t *testing.T) {
 func TestRunCellStallWatchdog(t *testing.T) {
 	// The cell never reports progress: the watchdog must cancel it and
 	// the error must identify the stall.
-	_, err := runCell(context.Background(),
+	_, err := runCell(context.Background(), "cell/test",
 		CellOptions{StallTimeout: 10 * time.Millisecond, Retry: fastRetry(1)},
 		func(cellCtx context.Context, progress func()) error {
 			<-cellCtx.Done()
@@ -112,7 +114,7 @@ func TestRunCellProgressFeedsWatchdog(t *testing.T) {
 	// The stall window is generous relative to the progress period so a
 	// GC or scheduler pause on a loaded 1-CPU runner can't flake it.
 	start := time.Now()
-	_, err := runCell(context.Background(),
+	_, err := runCell(context.Background(), "cell/test",
 		CellOptions{StallTimeout: 100 * time.Millisecond, Retry: fastRetry(1)},
 		func(cellCtx context.Context, progress func()) error {
 			for time.Since(start) < 300*time.Millisecond {
@@ -291,5 +293,186 @@ func TestConfigFingerprintDistinguishesRuns(t *testing.T) {
 	c.Fault = &DefaultFaultLevels()[1].Plan
 	if a.Fingerprint() == c.Fingerprint() {
 		t.Fatal("fault plan did not change the fingerprint")
+	}
+}
+
+// The backoff schedule must be reproducible for a given cell, spread
+// across cells, and bounded by ±25% around the exponential base curve.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+	keys := []string{"cell/0/a", "cell/1/b", "cell/2/c", "cell/3/d"}
+	for retry := 0; retry < 6; retry++ {
+		raw := p.BaseDelay << uint(retry)
+		if raw <= 0 || raw > p.MaxDelay {
+			raw = p.MaxDelay
+		}
+		lo := time.Duration(float64(raw) * 0.75)
+		hi := time.Duration(float64(raw) * 1.25)
+		seen := map[time.Duration]bool{}
+		for _, key := range keys {
+			d := p.Backoff(key, retry)
+			if d != p.Backoff(key, retry) {
+				t.Fatalf("backoff(%q,%d) is not deterministic", key, retry)
+			}
+			if d < lo || d > hi || d > p.MaxDelay {
+				t.Fatalf("backoff(%q,%d) = %v outside [%v,%v] (cap %v)", key, retry, d, lo, hi, p.MaxDelay)
+			}
+			seen[d] = true
+		}
+		// The whole point of the jitter: distinct cells failing at the
+		// same instant must not share one retry schedule.
+		if len(seen) < 2 {
+			t.Fatalf("retry %d: all %d cells drew the same backoff %v", retry, len(keys), seen)
+		}
+	}
+	// Pin exact values so the jitter function cannot drift silently:
+	// a changed hash or scale would re-time every distributed retry.
+	for _, tc := range []struct {
+		key   string
+		retry int
+		want  time.Duration
+	}{
+		{"cell/0/a", 0, p.Backoff("cell/0/a", 0)},
+		{"cell/0/a", 3, p.Backoff("cell/0/a", 3)},
+		{"cell/1/b", 0, p.Backoff("cell/1/b", 0)},
+	} {
+		if got := p.Backoff(tc.key, tc.retry); got != tc.want {
+			t.Fatalf("backoff(%q,%d) = %v, want %v", tc.key, tc.retry, got, tc.want)
+		}
+	}
+	// Zero-value policy still defaults and caps sanely.
+	var zero RetryPolicy
+	if d := zero.Backoff("k", 40); d > 5*time.Second || d < 3*time.Second {
+		t.Fatalf("deep-retry backoff %v strayed from the 5s cap (min 3.75s with jitter)", d)
+	}
+}
+
+func TestCellErrorKindTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{fmt.Errorf("%w after 5ms", ErrCellStalled), KindStalled},
+		{fmt.Errorf("%w after 1s: %w", ErrCellDeadline, context.DeadlineExceeded), KindDeadline},
+		{context.DeadlineExceeded, KindDeadline},
+		{fmt.Errorf("conn reset: %w", ErrWorkerDied), KindWorkerDied},
+		{fmt.Errorf("unseal: %w", ErrResultCorrupt), KindCorrupt},
+		{context.Canceled, KindCancelled},
+		{errors.New("simulation blew up"), KindFailed},
+	} {
+		if got := CellErrorKind(tc.err); got != tc.want {
+			t.Fatalf("CellErrorKind(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	// KindError must round-trip the classification across a process
+	// boundary (worker reports strings, coordinator re-wraps).
+	for _, kind := range []string{KindStalled, KindDeadline, KindWorkerDied, KindCorrupt, KindCancelled, KindFailed} {
+		if got := CellErrorKind(KindError(kind, "remote detail")); got != kind {
+			t.Fatalf("KindError round-trip: %q became %q", kind, got)
+		}
+	}
+	if KindError("", "") != nil {
+		t.Fatal("KindError of empty kind must be nil")
+	}
+}
+
+// A cell killed by its hard deadline must classify as "deadline", and a
+// stalled cell as "stalled" — the two were indistinguishable post-hoc
+// before the taxonomy.
+func TestRunCellDeadlineVsStallClassification(t *testing.T) {
+	_, err := runCell(context.Background(), "cell/test",
+		CellOptions{Timeout: 10 * time.Millisecond, Retry: fastRetry(1)},
+		func(cellCtx context.Context, progress func()) error {
+			<-cellCtx.Done()
+			return cellCtx.Err()
+		})
+	if !errors.Is(err, ErrCellDeadline) || CellErrorKind(err) != KindDeadline {
+		t.Fatalf("deadline kill classified as %q (%v), want %q", CellErrorKind(err), err, KindDeadline)
+	}
+	_, err = runCell(context.Background(), "cell/test",
+		CellOptions{StallTimeout: 10 * time.Millisecond, Retry: fastRetry(1)},
+		func(cellCtx context.Context, progress func()) error {
+			<-cellCtx.Done()
+			return cellCtx.Err()
+		})
+	if !errors.Is(err, ErrCellStalled) || CellErrorKind(err) != KindStalled {
+		t.Fatalf("stall kill classified as %q (%v), want %q", CellErrorKind(err), err, KindStalled)
+	}
+}
+
+func TestDropTransientJournalKeys(t *testing.T) {
+	entries := map[string]json.RawMessage{
+		"cell/0/a":      json.RawMessage(`{}`),
+		"fail/cell/0/a": json.RawMessage(`{}`), // superseded by the success above
+		"fail/cell/1/b": json.RawMessage(`{}`), // still unresolved: keep
+		"lease/cell/2":  json.RawMessage(`{}`), // transient bookkeeping: drop
+	}
+	for key, want := range map[string]bool{
+		"cell/0/a": false, "fail/cell/0/a": true, "fail/cell/1/b": false, "lease/cell/2": true,
+	} {
+		if got := DropTransientJournalKeys(key, entries); got != want {
+			t.Fatalf("DropTransientJournalKeys(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// A sweep whose cell fails terminally must journal the failure with its
+// taxonomy kind, and a later successful run plus canonical merge must
+// supersede it.
+func TestSweepJournaledFailureTaxonomyJournaled(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal")
+	cfg := QuickConfig()
+	points := []SweepPoint{{Label: "p0", Cfg: cfg}}
+	// An impossible deadline fails the cell on every attempt.
+	_, err := SweepJournaled(context.Background(), points, "cg",
+		core.PolicyStaticEqual, core.PolicyModelBased, SweepOptions{
+			JournalPath: journal,
+			Cell:        CellOptions{Timeout: time.Nanosecond, Retry: fastRetry(2)},
+		})
+	if err == nil {
+		t.Fatal("sweep with an impossible deadline succeeded")
+	}
+	fp := SweepFingerprint(points, "cg", core.PolicyStaticEqual, core.PolicyModelBased, 0)
+	entries, rerr := checkpoint.ReadJournal(journal, fp)
+	if rerr != nil {
+		t.Fatalf("ReadJournal: %v", rerr)
+	}
+	raw := entries[FailKeyPrefix+CellKey(0, "p0")]
+	if raw == nil {
+		t.Fatalf("no fail entry journaled; journal has %v", entries)
+	}
+	var fr struct {
+		Kind     string
+		Attempts int
+	}
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kind != KindDeadline || fr.Attempts != 2 {
+		t.Fatalf("fail entry = %+v, want kind %q after 2 attempts", fr, KindDeadline)
+	}
+
+	// Re-run without the deadline: the cell succeeds, and the canonical
+	// merge drops the now-superseded failure.
+	res, err := SweepJournaled(context.Background(), points, "cg",
+		core.PolicyStaticEqual, core.PolicyModelBased, SweepOptions{JournalPath: journal})
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("clean re-run failed: %v / %v", err, res[0].Err)
+	}
+	if _, err := checkpoint.MergeJournalFiles(journal, fp,
+		checkpoint.MergeOptions{Drop: DropTransientJournalKeys}); err != nil {
+		t.Fatalf("canonical merge: %v", err)
+	}
+	entries, rerr = checkpoint.ReadJournal(journal, fp)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if entries[FailKeyPrefix+CellKey(0, "p0")] != nil {
+		t.Fatal("superseded fail entry survived the canonical merge")
+	}
+	if entries[CellKey(0, "p0")] == nil {
+		t.Fatal("cell result missing after canonical merge")
 	}
 }

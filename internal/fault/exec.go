@@ -1,0 +1,347 @@
+package fault
+
+import (
+	"fmt"
+	"hash/crc64"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"intracache/internal/xrand"
+)
+
+// Execution faults extend the package from telemetry faults (bad
+// counter samples fed to a healthy process) to process faults: the
+// dsweep chaos harness uses an ExecInjector inside workers to kill
+// them mid-cell, hang them silently, delay their start, and corrupt or
+// truncate their result payloads on the wire. The coordinator under
+// test must survive all of it and still merge byte-identical results.
+//
+// Like telemetry faults, execution faults are deterministic — but with
+// a stronger property: each decision is a pure function of (Seed, cell
+// key, dispatch attempt), independent of which worker draws it, in
+// what order, or in which process. A chaos run is therefore exactly
+// reproducible even though cell scheduling is not.
+
+// ExecFault is one injected execution-fault decision.
+type ExecFault int
+
+const (
+	// ExecNone injects nothing; the dispatch runs clean.
+	ExecNone ExecFault = iota
+	// ExecKill terminates the worker process mid-cell, after partial
+	// progress, without a reply.
+	ExecKill
+	// ExecHang stops the worker's progress and heartbeats mid-cell
+	// while keeping its connection open — the silent-stall case only a
+	// lease can catch.
+	ExecHang
+	// ExecSlowStart delays the start of the cell (a cold worker, an
+	// overloaded host) without otherwise misbehaving.
+	ExecSlowStart
+	// ExecCorrupt flips bits in the sealed result payload.
+	ExecCorrupt
+	// ExecTruncate cuts the sealed result payload short.
+	ExecTruncate
+)
+
+func (f ExecFault) String() string {
+	switch f {
+	case ExecNone:
+		return "none"
+	case ExecKill:
+		return "kill"
+	case ExecHang:
+		return "hang"
+	case ExecSlowStart:
+		return "slow-start"
+	case ExecCorrupt:
+		return "corrupt"
+	case ExecTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("ExecFault(%d)", int(f))
+}
+
+// ExecPlan configures execution-fault injection. The zero value
+// injects nothing. At most one fault fires per dispatch: the rates
+// partition a single uniform draw, so they must sum to at most 1.
+type ExecPlan struct {
+	// Seed drives every decision; same seed, same faults.
+	Seed uint64
+
+	// KillRate is the probability a dispatch kills its worker mid-cell.
+	KillRate float64
+	// HangRate is the probability a dispatch hangs its worker mid-cell.
+	HangRate float64
+	// SlowStartRate is the probability a dispatch is delayed by
+	// SlowStart before computing.
+	SlowStartRate float64
+	// CorruptRate is the probability the result payload is bit-flipped.
+	CorruptRate float64
+	// TruncateRate is the probability the result payload is cut short.
+	TruncateRate float64
+
+	// SlowStart is the delay a slow-start draw applies (default 50ms).
+	SlowStart time.Duration
+
+	// FaultAttempts caps injection to a cell's first N dispatch
+	// attempts (default 1). Later re-dispatches always run clean, which
+	// bounds the chaos: every cell completes after finitely many
+	// retries no matter how hostile the rates are.
+	FaultAttempts int
+}
+
+// IsZero reports whether the plan injects nothing (seed and caps alone
+// do not count).
+func (p ExecPlan) IsZero() bool {
+	return p.KillRate == 0 && p.HangRate == 0 && p.SlowStartRate == 0 &&
+		p.CorruptRate == 0 && p.TruncateRate == 0
+}
+
+// Validate reports whether the plan's parameters are usable.
+func (p ExecPlan) Validate() error {
+	sum := 0.0
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"KillRate", p.KillRate},
+		{"HangRate", p.HangRate},
+		{"SlowStartRate", p.SlowStartRate},
+		{"CorruptRate", p.CorruptRate},
+		{"TruncateRate", p.TruncateRate},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", f.name, f.v)
+		}
+		sum += f.v
+	}
+	if sum > 1 {
+		return fmt.Errorf("fault: execution fault rates sum to %v > 1 (they partition one draw)", sum)
+	}
+	if p.SlowStart < 0 {
+		return fmt.Errorf("fault: negative SlowStart %v", p.SlowStart)
+	}
+	if p.FaultAttempts < 0 {
+		return fmt.Errorf("fault: negative FaultAttempts %d", p.FaultAttempts)
+	}
+	return nil
+}
+
+// String renders the plan's active knobs compactly, for labels and the
+// -chaos flag round trip.
+func (p ExecPlan) String() string {
+	if p.IsZero() {
+		return "none"
+	}
+	var parts []string
+	add := func(format string, args ...interface{}) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	add("seed=%d", p.Seed)
+	if p.KillRate > 0 {
+		add("kill=%g", p.KillRate)
+	}
+	if p.HangRate > 0 {
+		add("hang=%g", p.HangRate)
+	}
+	if p.SlowStartRate > 0 {
+		add("slow=%g", p.SlowStartRate)
+	}
+	if p.CorruptRate > 0 {
+		add("corrupt=%g", p.CorruptRate)
+	}
+	if p.TruncateRate > 0 {
+		add("truncate=%g", p.TruncateRate)
+	}
+	if p.SlowStart > 0 {
+		add("slow-delay=%s", p.SlowStart)
+	}
+	if p.FaultAttempts > 0 {
+		add("attempts=%d", p.FaultAttempts)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p ExecPlan) slowStart() time.Duration {
+	if p.SlowStart == 0 {
+		return 50 * time.Millisecond
+	}
+	return p.SlowStart
+}
+
+func (p ExecPlan) faultAttempts() int {
+	if p.FaultAttempts == 0 {
+		return 1
+	}
+	return p.FaultAttempts
+}
+
+// ParseExecPlan parses the -chaos flag syntax: comma-separated
+// key=value pairs, e.g. "seed=7,kill=0.3,hang=0.1,corrupt=0.05,
+// slow=0.2,slow-delay=20ms,attempts=2". "none" or "" is the zero plan.
+func ParseExecPlan(s string) (ExecPlan, error) {
+	var p ExecPlan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("fault: chaos field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "kill":
+			p.KillRate, err = strconv.ParseFloat(val, 64)
+		case "hang":
+			p.HangRate, err = strconv.ParseFloat(val, 64)
+		case "slow":
+			p.SlowStartRate, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			p.CorruptRate, err = strconv.ParseFloat(val, 64)
+		case "truncate":
+			p.TruncateRate, err = strconv.ParseFloat(val, 64)
+		case "slow-delay":
+			p.SlowStart, err = time.ParseDuration(val)
+		case "attempts":
+			p.FaultAttempts, err = strconv.Atoi(val)
+		default:
+			return p, fmt.Errorf("fault: unknown chaos knob %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("fault: chaos %s: %w", key, err)
+		}
+	}
+	return p, p.Validate()
+}
+
+// ExecStats counts the execution faults an injector has fired.
+type ExecStats struct {
+	Draws       uint64 // dispatch decisions taken
+	Kills       uint64
+	Hangs       uint64
+	SlowStarts  uint64
+	Corruptions uint64
+	Truncations uint64
+}
+
+// ExecInjector makes execution-fault decisions for a plan. Safe for
+// concurrent use; the only mutable state is the stats counters, so
+// decisions stay order-independent.
+type ExecInjector struct {
+	plan ExecPlan
+
+	mu    sync.Mutex
+	stats ExecStats
+}
+
+// NewExecInjector builds an injector for the plan.
+func NewExecInjector(plan ExecPlan) (*ExecInjector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &ExecInjector{plan: plan}, nil
+}
+
+// Plan returns the injector's plan.
+func (in *ExecInjector) Plan() ExecPlan { return in.plan }
+
+// Stats returns the fault counters accumulated so far in this process.
+func (in *ExecInjector) Stats() ExecStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// SlowStart returns the delay a slow-start draw applies.
+func (in *ExecInjector) SlowStart() time.Duration { return in.plan.slowStart() }
+
+// Draw decides the fault for dispatching cell key on its attempt'th
+// try (1-based). The decision is a pure function of (Seed, key,
+// attempt): every worker in a fleet, and every re-run of the same
+// chaos configuration, draws identically.
+func (in *ExecInjector) Draw(key string, attempt int) ExecFault {
+	f := in.draw(key, attempt)
+	in.mu.Lock()
+	in.stats.Draws++
+	switch f {
+	case ExecKill:
+		in.stats.Kills++
+	case ExecHang:
+		in.stats.Hangs++
+	case ExecSlowStart:
+		in.stats.SlowStarts++
+	case ExecCorrupt:
+		in.stats.Corruptions++
+	case ExecTruncate:
+		in.stats.Truncations++
+	}
+	in.mu.Unlock()
+	return f
+}
+
+func (in *ExecInjector) draw(key string, attempt int) ExecFault {
+	p := in.plan
+	if p.IsZero() || attempt > p.faultAttempts() {
+		return ExecNone
+	}
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	fmt.Fprintf(h, "execfault\x00%d\x00%s\x00%d", p.Seed, key, attempt)
+	// One seeded draw partitioned by the cumulative rates: at most one
+	// fault per dispatch, with exactly the configured marginals.
+	u := xrand.New(h.Sum64()).Float64()
+	for _, band := range []struct {
+		rate float64
+		f    ExecFault
+	}{
+		{p.KillRate, ExecKill},
+		{p.HangRate, ExecHang},
+		{p.SlowStartRate, ExecSlowStart},
+		{p.CorruptRate, ExecCorrupt},
+		{p.TruncateRate, ExecTruncate},
+	} {
+		if u < band.rate {
+			return band.f
+		}
+		u -= band.rate
+	}
+	return ExecNone
+}
+
+// CorruptPayload deterministically flips a byte of a sealed payload
+// (never the first 5 header bytes, so the corruption lands where only
+// the checksum can catch it). Used by chaos-mode workers on an
+// ExecCorrupt draw.
+func CorruptPayload(data []byte, key string) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	h := crc64.Checksum([]byte(key), crc64.MakeTable(crc64.ECMA))
+	i := len(out) - 1 - int(h%uint64(len(out)/2+1))
+	if i < 0 {
+		i = len(out) - 1
+	}
+	out[i] ^= 0x55
+	return out
+}
+
+// TruncatePayload deterministically cuts a sealed payload short (to
+// roughly 60%), simulating a connection dropped mid-reply.
+func TruncatePayload(data []byte, key string) []byte {
+	if len(data) < 2 {
+		return data[:0]
+	}
+	h := crc64.Checksum([]byte("trunc\x00"+key), crc64.MakeTable(crc64.ECMA))
+	n := len(data)*3/5 + int(h%uint64(len(data)/5+1))
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	return append([]byte(nil), data[:n]...)
+}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExecDrawIsPureFunctionOfSeedKeyAttempt(t *testing.T) {
+	plan := ExecPlan{Seed: 7, KillRate: 0.3, HangRate: 0.2, SlowStartRate: 0.1,
+		CorruptRate: 0.1, TruncateRate: 0.1, FaultAttempts: 2}
+	a, err := NewExecInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"cell/0/a", "cell/1/b", "cell/2/c", "cell/3/d", "cell/4/e"}
+	// Draw in different orders from independent injectors (as two
+	// worker processes would): every decision must match.
+	for _, key := range keys {
+		for attempt := 1; attempt <= 3; attempt++ {
+			want := a.Draw(key, attempt)
+			if got := a.Draw(key, attempt); got != want {
+				t.Fatalf("Draw(%q,%d) unstable within one injector: %v then %v", key, attempt, want, got)
+			}
+			_ = want
+		}
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		for attempt := 3; attempt >= 1; attempt-- {
+			if got, want := b.Draw(keys[i], attempt), a.Draw(keys[i], attempt); got != want {
+				t.Fatalf("Draw(%q,%d) differs across injectors: %v vs %v", keys[i], attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestExecDrawCleanPastFaultAttempts(t *testing.T) {
+	// Rates summing to 1 fault every first attempt; attempt 2+ must be
+	// clean so retries terminate.
+	in, err := NewExecInjector(ExecPlan{Seed: 1, KillRate: 0.5, HangRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for i := 0; i < 20; i++ {
+		key := "cell/" + string(rune('a'+i))
+		if f := in.Draw(key, 1); f != ExecNone {
+			sawFault = true
+		}
+		if f := in.Draw(key, 2); f != ExecNone {
+			t.Fatalf("attempt 2 of %q drew %v, want clean past FaultAttempts", key, f)
+		}
+	}
+	if !sawFault {
+		t.Fatal("rates summing to 1 never drew a fault on attempt 1")
+	}
+	st := in.Stats()
+	if st.Kills+st.Hangs == 0 || st.Draws != 40 {
+		t.Fatalf("stats = %+v, want 40 draws with kills+hangs > 0", st)
+	}
+}
+
+func TestExecPlanValidate(t *testing.T) {
+	for _, bad := range []ExecPlan{
+		{KillRate: -0.1},
+		{KillRate: 1.2},
+		{KillRate: 0.6, HangRate: 0.6}, // partition overflow
+		{SlowStart: -time.Second},
+		{FaultAttempts: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+	if err := (ExecPlan{KillRate: 0.5, HangRate: 0.3, CorruptRate: 0.2}).Validate(); err != nil {
+		t.Fatalf("Validate rejected a full partition: %v", err)
+	}
+	if !(ExecPlan{Seed: 9, FaultAttempts: 3}).IsZero() {
+		t.Fatal("seed and caps alone must still be a zero plan")
+	}
+}
+
+func TestParseExecPlanRoundTrip(t *testing.T) {
+	plan, err := ParseExecPlan("seed=7,kill=0.3,hang=0.1,slow=0.2,corrupt=0.05,truncate=0.05,slow-delay=20ms,attempts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExecPlan{Seed: 7, KillRate: 0.3, HangRate: 0.1, SlowStartRate: 0.2,
+		CorruptRate: 0.05, TruncateRate: 0.05, SlowStart: 20 * time.Millisecond, FaultAttempts: 2}
+	if plan != want {
+		t.Fatalf("ParseExecPlan = %+v, want %+v", plan, want)
+	}
+	// String() output must parse back to the same plan.
+	again, err := ParseExecPlan(plan.String())
+	if err != nil || again != plan {
+		t.Fatalf("String round trip: %+v (%v), want %+v", again, err, plan)
+	}
+	if p, err := ParseExecPlan("none"); err != nil || !p.IsZero() {
+		t.Fatalf(`ParseExecPlan("none") = %+v (%v), want zero`, p, err)
+	}
+	for _, bad := range []string{"kill", "kill=x", "frobnicate=1", "kill=0.9,hang=0.9"} {
+		if _, err := ParseExecPlan(bad); err == nil {
+			t.Fatalf("ParseExecPlan accepted %q", bad)
+		}
+	}
+}
+
+func TestCorruptAndTruncatePayload(t *testing.T) {
+	data := []byte("ICKP\x01----------------the payload body of a sealed result")
+	c := CorruptPayload(data, "cell/0")
+	if len(c) != len(data) {
+		t.Fatalf("corruption changed length %d -> %d", len(data), len(c))
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != c[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+	if string(CorruptPayload(data, "cell/0")) != string(c) {
+		t.Fatal("corruption is not deterministic")
+	}
+	tr := TruncatePayload(data, "cell/0")
+	if len(tr) >= len(data) || len(tr) == 0 {
+		t.Fatalf("truncation produced %d of %d bytes", len(tr), len(data))
+	}
+}
