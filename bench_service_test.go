@@ -1,0 +1,98 @@
+package intracache
+
+// Service benchmarks for the partitiond daemon path: ingest throughput
+// (sealed-envelope decode + admission + enqueue) and decision-tick
+// latency across a populated session table. They run in the bench-gate
+// CI job alongside the figure benchmarks (BenchmarkService matches the
+// job's -bench regex), so regressions on the daemon's two hot paths
+// are caught by cmd/benchdiff like any simulator regression.
+
+import (
+	"fmt"
+	"testing"
+
+	"intracache/internal/service"
+	"intracache/internal/sim"
+)
+
+// benchServiceSample builds one healthy 4-thread sample; jitter varies
+// the counters so consecutive samples are not stuck-counter repeats.
+func benchServiceSample(jitter uint64) service.Sample {
+	threads := make([]sim.ThreadIntervalStats, 4)
+	for t := range threads {
+		instr := uint64(100_000)
+		threads[t] = sim.ThreadIntervalStats{
+			Instructions: instr,
+			ActiveCycles: instr*uint64(t+1) + jitter*uint64(t+3),
+			StallCycles:  instr / 4,
+			L1Misses:     1200 + jitter,
+			L2Accesses:   900 + jitter,
+			L2Hits:       700,
+			L2Misses:     200 + jitter,
+		}
+	}
+	return service.Sample{Threads: threads}
+}
+
+func benchServiceBatch(app string, samples int, base uint64) service.Batch {
+	b := service.Batch{App: app, Threads: 4, Ways: 16}
+	for i := 0; i < samples; i++ {
+		b.Samples = append(b.Samples, benchServiceSample(base+uint64(i)*37))
+	}
+	return b
+}
+
+// BenchmarkServiceIngest measures the daemon's wire-to-queue path:
+// seal + unseal of one 4-sample batch plus admission and enqueue into
+// a steady-state session. Ticks run periodically so the queue never
+// saturates into the (cheaper) drop path.
+func BenchmarkServiceIngest(b *testing.B) {
+	svc := service.New(service.Options{QueueCap: 256, MaxSamplesPerTick: 64})
+	payload, err := service.SealJSON(benchServiceBatch("bench-app", 4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch service.Batch
+		if err := service.UnsealJSON(payload, &batch); err != nil {
+			b.Fatal(err)
+		}
+		if rep := svc.Ingest(batch); rep.Rejected != "" {
+			b.Fatalf("rejected: %+v", rep)
+		}
+		if i%16 == 15 {
+			b.StopTimer()
+			svc.Tick(0)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkServiceDecisionTick measures one decision round over 64
+// populated sessions — the latency the daemon's per-tick SLO bounds.
+// Reported ns/op is the full tick; divide by 64 for per-session cost.
+func BenchmarkServiceDecisionTick(b *testing.B) {
+	const sessions = 64
+	svc := service.New(service.Options{QueueCap: 64, MaxSamplesPerTick: 2})
+	for s := 0; s < sessions; s++ {
+		app := fmt.Sprintf("app-%03d", s)
+		if rep := svc.Ingest(benchServiceBatch(app, 2, uint64(s))); rep.Rejected != "" {
+			b.Fatalf("seeding %s: %+v", app, rep)
+		}
+	}
+	svc.Tick(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Refill outside the measured region so every tick decides over
+		// a full session table.
+		b.StopTimer()
+		for s := 0; s < sessions; s++ {
+			svc.Ingest(benchServiceBatch(fmt.Sprintf("app-%03d", s), 2, uint64(i*sessions+s)))
+		}
+		b.StartTimer()
+		svc.Tick(0)
+	}
+}

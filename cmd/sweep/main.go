@@ -258,9 +258,16 @@ func main() {
 // runWorker turns the process into a sweep worker: "stdio" serves the
 // cell protocol on stdin/stdout (how -exec-workers coordinators drive
 // it), anything else is an HTTP listen address.
+//
+// Both modes shut down gracefully on the first SIGINT/SIGTERM: the
+// in-flight cell (if any) finishes, is journaled, and is replied to,
+// the health probe flips to draining so coordinators stop dispatching,
+// and the process exits 0. A second signal exits 1 immediately.
 func runWorker(mode, journalPath, chaosSpec string) {
+	drain := make(chan struct{})
 	opts := dsweep.ServeOptions{
 		JournalPath: journalPath,
+		Drain:       drain,
 		Log: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -272,18 +279,48 @@ func runWorker(mode, journalPath, chaosSpec string) {
 		}
 		opts.Chaos = plan
 	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	hardExit := func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweep: worker: second signal, exiting immediately")
+		os.Exit(exitHard)
+	}
+
 	if mode == "stdio" {
+		go func() {
+			sig := <-sigs
+			fmt.Fprintf(os.Stderr, "sweep: worker: %v: draining (again to kill)\n", sig)
+			close(drain)
+			hardExit()
+		}()
 		if err := dsweep.ServeStdio(context.Background(), opts); err != nil {
 			fatal(err)
 		}
 		return
 	}
+
 	handler, err := dsweep.NewHandler(opts)
 	if err != nil {
 		fatal(err)
 	}
+	srv := &http.Server{Addr: mode, Handler: handler}
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "sweep: worker: %v: draining (again to kill)\n", sig)
+		// Flip the probe first so coordinators stop dispatching, then
+		// let in-flight cells finish; cells legitimately run for
+		// minutes, so the shutdown context carries no deadline — the
+		// second-signal path is the escape hatch.
+		handler.SetDraining(true)
+		go hardExit()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: worker shutdown:", err)
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "sweep: worker listening on %s\n", mode)
-	if err := http.ListenAndServe(mode, handler); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 }

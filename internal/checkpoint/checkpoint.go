@@ -163,3 +163,32 @@ func Load(path string) (*Snapshot, error) {
 	}
 	return Decode(data)
 }
+
+// SaveGob gob-encodes an arbitrary value, seals it in the CRC64
+// envelope, and writes it atomically. It is the generic sibling of
+// Save for owners whose state is not a simulator Snapshot — the
+// partitiond service checkpoints its session table through it.
+func SaveGob(path string, v interface{}) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	return atomicfile.WriteFile(path, Seal(payload.Bytes()), 0o644)
+}
+
+// LoadGob reads a SaveGob file, validates the envelope, and decodes
+// the payload into v (which must be a pointer).
+func LoadGob(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	payload, err := Unseal(data)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decoding payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package dsweep
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"intracache/internal/checkpoint"
+	"intracache/internal/experiment"
+)
+
+// TestHandlerDrainingProbe pins the coordinator-facing drain contract:
+// a draining worker's /healthz answers 503 with a "draining" body (so
+// Ping fails and the coordinator stops dispatching) and /cell refuses
+// new tasks, while a non-draining worker still serves both.
+func TestHandlerDrainingProbe(t *testing.T) {
+	handler, err := NewHandler(ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(handler)
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz before drain: %d %q", resp.StatusCode, body)
+	}
+	w := &HTTPWorker{BaseURL: hs.URL}
+	if err := w.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping before drain: %v", err)
+	}
+
+	handler.SetDraining(true)
+
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("healthz while draining: %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	if err := w.Ping(context.Background()); err == nil {
+		t.Fatal("Ping succeeded against a draining worker")
+	}
+
+	payload, err := sealJSON(Task{Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(hs.URL+"/cell", "text/plain", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("cell while draining: %d %q, want 503 draining", resp.StatusCode, body)
+	}
+
+	// Draining is reversible (tests and future maintenance use only).
+	handler.SetDraining(false)
+	if err := w.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping after undrain: %v", err)
+	}
+}
+
+// TestServeDrainExitsCleanly pins the stdio worker's SIGTERM path:
+// closing ServeOptions.Drain makes Serve return nil even though the
+// coordinator's stream is still open and idle.
+func TestServeDrainExitsCleanly(t *testing.T) {
+	drain := make(chan struct{})
+	// The reader side never delivers a frame and never closes: only the
+	// drain can end this Serve.
+	r, _ := io.Pipe()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(context.Background(), r, &out, ServeOptions{Drain: drain})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Serve returned before drain: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(drain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained Serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestServeDrainFinishesInFlightTask pins the "finish the cell,
+// journal it, reply, then exit" ordering: the drain closes while a
+// task is computing (after its first heartbeat), and the worker must
+// still journal the record and emit the RES frame before Serve
+// returns.
+func TestServeDrainFinishesInFlightTask(t *testing.T) {
+	points := testPoints(1)
+	fp := experiment.SweepFingerprint(points, testBench, testBaseline, testCandidate, 0)
+	task := testTask(points, 0, 1)
+	payload, err := sealJSON(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drain := make(chan struct{})
+	journal := t.TempDir() + "/worker.journal"
+	taskR, taskW := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(context.Background(), taskR, outW, ServeOptions{
+			Drain:          drain,
+			JournalPath:    journal,
+			HeartbeatEvery: time.Nanosecond, // every progress tick beats
+		})
+	}()
+	go func() {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, frameTask, payload); err != nil {
+			t.Error(err)
+		}
+		taskW.Write(buf.Bytes())
+		// Leave taskW open: only the drain may end the serve loop.
+	}()
+
+	// Wait for proof the cell is computing, then pull the drain.
+	sc := newFrameScanner(outR)
+	kind, _, err := readFrame(sc)
+	if err != nil || kind != frameBeat {
+		t.Fatalf("first frame: %q err=%v, want heartbeat", kind, err)
+	}
+	close(drain)
+
+	// The in-flight task must still complete with a valid result.
+	for {
+		kind, body, err := readFrame(sc)
+		if err != nil {
+			t.Fatalf("stream ended before result: %v", err)
+		}
+		if kind == frameBeat {
+			continue
+		}
+		if kind != frameResult {
+			t.Fatalf("unexpected %q frame", kind)
+		}
+		var res Result
+		if err := unsealJSON(body, &res); err != nil {
+			t.Fatalf("unsealing result: %v", err)
+		}
+		if res.Key != task.Key || res.Err != "" {
+			t.Fatalf("result %+v", res)
+		}
+		break
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained Serve returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after finishing the in-flight task")
+	}
+	// And the record was journaled before the reply.
+	recs, err := checkpoint.ReadJournal(journal, fp)
+	if err != nil {
+		t.Fatalf("reading worker journal: %v", err)
+	}
+	if _, ok := recs[task.Key]; !ok {
+		t.Fatalf("journal %v missing the drained task's record", recs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"intracache/internal/experiment"
 )
@@ -24,34 +25,57 @@ import (
 // NewHandler serves the worker protocol over HTTP. Tasks are
 // serialized: the worker computes one cell at a time even if a
 // confused coordinator posts two.
-func NewHandler(opts ServeOptions) (http.Handler, error) {
+func NewHandler(opts ServeOptions) (*Handler, error) {
 	srv, err := newServer(opts)
 	if err != nil {
 		return nil, err
 	}
-	h := &httpWorkerHandler{srv: srv}
+	h := &Handler{srv: srv}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/cell", h.cell)
-	return mux, nil
+	h.mux = mux
+	return h, nil
 }
 
-type httpWorkerHandler struct {
-	mu  sync.Mutex
-	srv *server
+// Handler is the HTTP worker endpoint. Once SetDraining(true) is
+// called — the worker caught SIGTERM and is going away — /healthz
+// answers 503 "draining" so coordinators stop dispatching to it, and
+// new cells are refused; a cell already computing finishes, journals,
+// and replies normally (the coordinator's probe, not the in-flight
+// stream, is what draining changes).
+type Handler struct {
+	mu       sync.Mutex
+	srv      *server
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
-func (h *httpWorkerHandler) healthz(w http.ResponseWriter, r *http.Request) {
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the worker's draining state.
+func (h *Handler) SetDraining(d bool) { h.draining.Store(d) }
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	io.WriteString(w, "ok\n")
 }
 
-func (h *httpWorkerHandler) cell(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) cell(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))

@@ -30,6 +30,12 @@ type ServeOptions struct {
 	// Exit overrides os.Exit for in-process test workers (a chaos kill
 	// terminates the worker through it).
 	Exit func(code int)
+	// Drain, when non-nil, makes Serve return cleanly (nil error) once
+	// the channel is closed — after the in-flight task, if any, has
+	// been computed, journaled, and replied to. This is how a stdio
+	// worker turns SIGTERM into a graceful exit: finish the cell the
+	// coordinator is waiting on, never start another.
+	Drain <-chan struct{}
 	// Log receives worker-side diagnostics; nil discards them.
 	Log func(format string, args ...interface{})
 }
@@ -37,44 +43,72 @@ type ServeOptions struct {
 // Serve runs the worker side of the protocol over r/w until the stream
 // ends. It answers PING with PONG and executes TASK frames one at a
 // time, streaming HB heartbeats while a cell computes and finishing
-// each task with exactly one RES frame.
+// each task with exactly one RES frame. A close of opts.Drain ends the
+// loop cleanly between frames — tasks are handled synchronously, so an
+// in-flight cell always finishes (computed, journaled, replied) before
+// the drain is noticed.
 func Serve(ctx context.Context, r io.Reader, w io.Writer, opts ServeOptions) error {
 	srv, err := newServer(opts)
 	if err != nil {
 		return err
 	}
 	defer srv.close()
-	sc := newFrameScanner(r)
 	bw := bufio.NewWriter(w)
+
+	// Frames are read on a side goroutine so the loop can select on the
+	// drain signal while blocked waiting for the coordinator's next
+	// frame. When Serve returns mid-stream the goroutine stays blocked
+	// on its unbuffered send; that is fine — every Serve caller exits
+	// the process (or closes r, unblocking readFrame) right after.
+	type frameMsg struct {
+		kind    string
+		payload []byte
+		err     error
+	}
+	frames := make(chan frameMsg)
+	go func() {
+		sc := newFrameScanner(r)
+		for {
+			kind, payload, err := readFrame(sc)
+			frames <- frameMsg{kind: kind, payload: payload, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
 	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		kind, payload, err := readFrame(sc)
-		if err == io.EOF {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-opts.Drain:
 			return nil
-		}
-		if err != nil {
-			return err
-		}
-		switch kind {
-		case framePing:
-			if err := writeFrame(bw, framePong, nil); err != nil {
-				return err
+		case m := <-frames:
+			if m.err == io.EOF {
+				return nil
 			}
-			if err := bw.Flush(); err != nil {
-				return err
+			if m.err != nil {
+				return m.err
 			}
-		case frameTask:
-			var t Task
-			if err := unsealJSON(payload, &t); err != nil {
-				return fmt.Errorf("dsweep: undecodable task: %w", err)
+			switch m.kind {
+			case framePing:
+				if err := writeFrame(bw, framePong, nil); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			case frameTask:
+				var t Task
+				if err := unsealJSON(m.payload, &t); err != nil {
+					return fmt.Errorf("dsweep: undecodable task: %w", err)
+				}
+				if err := srv.runTask(ctx, &t, bw); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("dsweep: unexpected %q frame from coordinator", m.kind)
 			}
-			if err := srv.runTask(ctx, &t, bw); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("dsweep: unexpected %q frame from coordinator", kind)
 		}
 	}
 }

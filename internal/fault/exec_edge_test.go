@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseExecPlanErrorPaths walks every knob's parse-failure branch
+// plus the post-parse Validate rejections the round-trip test does not
+// reach: each bad input must name the offending knob in its error.
+func TestParseExecPlanErrorPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must carry
+	}{
+		{"seed=abc", "seed"},
+		{"seed=-1", "seed"},
+		{"seed=1.5", "seed"},
+		{"hang=x", "hang"},
+		{"slow=,kill=0.1", "slow"},
+		{"corrupt=many", "corrupt"},
+		{"truncate=", "truncate"},
+		{"slow-delay=xyz", "slow-delay"},
+		{"slow-delay=10", "slow-delay"}, // duration needs a unit
+		{"attempts=1.5", "attempts"},
+		{"attempts=two", "attempts"},
+		{"=0.5", `""`},               // empty key
+		{"kill=0.5,,hang=0.1", `""`}, // empty field
+		// Parsed fine, rejected by Validate.
+		{"kill=-0.2", "KillRate"},
+		{"truncate=2", "TruncateRate"},
+		{"slow-delay=-5ms", "SlowStart"},
+		{"attempts=-1", "FaultAttempts"},
+		{"kill=0.4,hang=0.4,slow=0.4", "sum"},
+	}
+	for _, tc := range cases {
+		_, err := ParseExecPlan(tc.in)
+		if err == nil {
+			t.Errorf("ParseExecPlan(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseExecPlan(%q) error %q does not mention %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestExecPlanStringParseRoundTripVariants pins String/Parse stability
+// for plans the existing round-trip test misses: sparse plans (one
+// knob), plans with non-default delay/attempts but no matching rates,
+// and whitespace-tolerant parsing.
+func TestExecPlanStringParseRoundTripVariants(t *testing.T) {
+	plans := []ExecPlan{
+		{Seed: 1, KillRate: 0.25},
+		{TruncateRate: 1},
+		{Seed: 42, SlowStartRate: 0.5, SlowStart: 3 * time.Second},
+		{Seed: 9, CorruptRate: 0.125, FaultAttempts: 7},
+	}
+	for _, p := range plans {
+		again, err := ParseExecPlan(p.String())
+		if err != nil {
+			t.Errorf("ParseExecPlan(%q): %v", p.String(), err)
+			continue
+		}
+		if again != p {
+			t.Errorf("round trip of %q: %+v, want %+v", p.String(), again, p)
+		}
+	}
+	// The zero plan renders "none", which parses back to zero.
+	if got := (ExecPlan{}).String(); got != "none" {
+		t.Errorf(`zero plan String() = %q, want "none"`, got)
+	}
+	// Whitespace around fields is tolerated (shell-quoted flags).
+	p, err := ParseExecPlan(" seed=3 , kill=0.5 ")
+	if err != nil || p.Seed != 3 || p.KillRate != 0.5 {
+		t.Errorf("whitespace parse: %+v (%v)", p, err)
+	}
+	if q, err := ParseExecPlan("   "); err != nil || !q.IsZero() {
+		t.Errorf("blank spec: %+v (%v), want zero plan", q, err)
+	}
+}
+
+// TestCorruptPayloadDegenerateSizes pins the documented behaviour on
+// payloads too small to carry a header: empty input is returned
+// unchanged (there is nothing to flip), and a 1-byte payload still
+// gets exactly one deterministic flip.
+func TestCorruptPayloadDegenerateSizes(t *testing.T) {
+	if got := CorruptPayload(nil, "k"); len(got) != 0 {
+		t.Fatalf("CorruptPayload(nil) = %v, want empty", got)
+	}
+	if got := CorruptPayload([]byte{}, "k"); len(got) != 0 {
+		t.Fatalf("CorruptPayload(empty) = %v, want empty", got)
+	}
+	one := []byte{0xAA}
+	c := CorruptPayload(one, "k")
+	if len(c) != 1 || c[0] == 0xAA {
+		t.Fatalf("CorruptPayload(1 byte) = %v, want one flipped byte", c)
+	}
+	if one[0] != 0xAA {
+		t.Fatal("CorruptPayload mutated its input")
+	}
+	if c2 := CorruptPayload(one, "k"); c2[0] != c[0] {
+		t.Fatal("1-byte corruption is not deterministic")
+	}
+	// Different keys may flip different bytes on longer payloads, but
+	// every key must flip exactly one byte.
+	data := []byte("ICKP\x01 payload")
+	for _, key := range []string{"a", "b", "cell/42"} {
+		c := CorruptPayload(data, key)
+		diff := 0
+		for i := range data {
+			if c[i] != data[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("key %q flipped %d bytes, want 1", key, diff)
+		}
+	}
+}
+
+// TestTruncatePayloadDegenerateSizes pins the small-payload contract:
+// inputs shorter than 2 bytes truncate to empty (never negative, never
+// unchanged), everything else loses at least one byte, and the input
+// is never mutated.
+func TestTruncatePayloadDegenerateSizes(t *testing.T) {
+	if got := TruncatePayload(nil, "k"); len(got) != 0 {
+		t.Fatalf("TruncatePayload(nil) = %v, want empty", got)
+	}
+	if got := TruncatePayload([]byte{}, "k"); len(got) != 0 {
+		t.Fatalf("TruncatePayload(empty) = %v, want empty", got)
+	}
+	one := []byte{0x7F}
+	if got := TruncatePayload(one, "k"); len(got) != 0 {
+		t.Fatalf("TruncatePayload(1 byte) = %v, want empty", got)
+	}
+	if one[0] != 0x7F {
+		t.Fatal("TruncatePayload mutated its input")
+	}
+	two := []byte{1, 2}
+	tr := TruncatePayload(two, "k")
+	if len(tr) >= 2 {
+		t.Fatalf("TruncatePayload(2 bytes) kept %d bytes, want < 2", len(tr))
+	}
+	// Determinism across calls, for every small size.
+	for n := 2; n <= 8; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		a, b := TruncatePayload(data, "cell"), TruncatePayload(data, "cell")
+		if string(a) != string(b) {
+			t.Fatalf("truncation of %d bytes is not deterministic", n)
+		}
+		if len(a) >= n {
+			t.Fatalf("truncation of %d bytes kept %d", n, len(a))
+		}
+	}
+}

@@ -182,14 +182,18 @@ func (in *Injector) Plan() Plan { return in.plan }
 // Stats returns the fault counters accumulated so far.
 func (in *Injector) Stats() Stats { return in.stats }
 
-// OnInterval implements sim.Controller: perturb, forward, delay.
-func (in *Injector) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+// Perturb applies the plan's telemetry faults to one interval's
+// samples and returns the perturbed copy, advancing the injector's RNG
+// stream and sample memory exactly as a controller-wrapped injection
+// would. The input is never mutated (the Threads slice may be shared
+// with recorded ground truth). Callers that feed telemetry to an
+// external consumer — the partitiond load generator tainting the
+// streams it POSTs — use this directly; OnInterval builds on it.
+func (in *Injector) Perturb(iv sim.IntervalStats) sim.IntervalStats {
 	in.stats.Intervals++
 	if in.prev == nil {
 		in.prev = make([]sim.ThreadIntervalStats, len(iv.Threads))
 	}
-	// The Threads slice is shared with the simulator's recorded interval
-	// history; perturb a copy so ground truth stays intact.
 	perturbed := iv
 	perturbed.Threads = append([]sim.ThreadIntervalStats(nil), iv.Threads...)
 
@@ -208,6 +212,12 @@ func (in *Injector) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
 		in.prev[t] = perturbed.Threads[t]
 	}
 	in.havePrev = true
+	return perturbed
+}
+
+// OnInterval implements sim.Controller: perturb, forward, delay.
+func (in *Injector) OnInterval(iv sim.IntervalStats, mon sim.Monitors) []int {
+	perturbed := in.Perturb(iv)
 
 	var targets []int
 	if in.inner != nil {

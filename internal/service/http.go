@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"intracache/internal/checkpoint"
+)
+
+// Wire format: ingest bodies and replies are JSON sealed in the same
+// CRC64 envelope dsweep uses for cell payloads (checkpoint.Seal), so a
+// truncated or bit-flipped batch is detected before a single field is
+// interpreted. SealJSON/UnsealJSON are exported for clients — the load
+// generator, partitiond's selftest, and external telemetry agents.
+
+// SealJSON marshals v and wraps it in the checkpoint envelope.
+func SealJSON(v interface{}) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Seal(payload), nil
+}
+
+// UnsealJSON validates an envelope and unmarshals its payload into v.
+func UnsealJSON(data []byte, v interface{}) error {
+	payload, err := checkpoint.Unseal(data)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// maxBodyBytes bounds one ingest request body, mirroring the dsweep
+// HTTP worker's cell cap: no legitimate batch comes near it, and it
+// stops a confused client from ballooning the daemon's memory.
+const maxBodyBytes = 8 << 20
+
+// Server exposes a Service over HTTP:
+//
+//	POST /ingest   sealed JSON Batch → sealed JSON IngestReply
+//	GET  /alloc    ?app= → JSON Allocation
+//	GET  /stats    → JSON Stats (with latency percentiles)
+//	GET  /healthz  → 200 "ok" | 503 "draining"
+//	GET  /readyz   → 200 "ready" | 503 "draining" / "starting"
+//
+// Status codes map rejection kinds: 503 draining, 400 malformed or
+// shape-mismatch, 429 session-limit; an accepted batch (even one that
+// dropped older samples) is 200 with the reply detailing the drops.
+type Server struct {
+	svc   *Service
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+// NewServer wraps svc. The server starts not-ready; the owner calls
+// SetReady(true) once listeners and tickers are up.
+func NewServer(svc *Service) (*Server, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("service: nil service")
+	}
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/alloc", s.handleAlloc)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetReady flips the /readyz gate.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		http.Error(w, "batch exceeds 8 MiB", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var batch Batch
+	if err := UnsealJSON(body, &batch); err != nil {
+		// An undecodable envelope is malformed telemetry too — count it
+		// so the taxonomy sees wire-level corruption, not just
+		// structural badness.
+		s.svc.CountWireReject()
+		writeSealed(w, http.StatusBadRequest, IngestReply{
+			Rejected: RejectMalformed, Reason: "envelope: " + err.Error()})
+		return
+	}
+	reply := s.svc.Ingest(batch)
+	status := http.StatusOK
+	switch reply.Rejected {
+	case RejectDraining:
+		status = http.StatusServiceUnavailable
+	case RejectSessionLimit:
+		status = http.StatusTooManyRequests
+	case RejectMalformed, RejectMismatch:
+		status = http.StatusBadRequest
+	}
+	writeSealed(w, status, reply)
+}
+
+func writeSealed(w http.ResponseWriter, status int, v interface{}) {
+	data, err := SealJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		http.Error(w, "missing app parameter", http.StatusBadRequest)
+		return
+	}
+	alloc, ok := s.svc.Allocation(app)
+	if !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, alloc)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.svc.SnapshotStats())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.svc.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.svc.Draining():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	default:
+		w.Write([]byte("ready\n"))
+	}
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *Service, *httptest.Server) {
+	t.Helper()
+	svc := New(opts)
+	srv, err := NewServer(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, svc, hs
+}
+
+func postIngest(t *testing.T, url string, b Batch) (int, IngestReply) {
+	t.Helper()
+	body, err := SealJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/ingest", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply IngestReply
+	if err := UnsealJSON(data, &reply); err != nil {
+		t.Fatalf("unsealing reply (%d: %q): %v", resp.StatusCode, data, err)
+	}
+	return resp.StatusCode, reply
+}
+
+func TestHTTPIngestRoundTrip(t *testing.T) {
+	_, svc, hs := newTestServer(t, Options{})
+	code, reply := postIngest(t, hs.URL, mkBatch("web-01", 4, 16, 3, 7))
+	if code != http.StatusOK || reply.Accepted != 3 || reply.Rejected != "" {
+		t.Fatalf("ingest: code=%d reply=%+v", code, reply)
+	}
+	svc.Tick(0)
+
+	resp, err := http.Get(hs.URL + "/alloc?app=web-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var alloc Allocation
+	if err := json.NewDecoder(resp.Body).Decode(&alloc); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.App != "web-01" || len(alloc.Alloc) != 4 || alloc.Rung == "" {
+		t.Fatalf("alloc: %+v", alloc)
+	}
+}
+
+func TestHTTPStatusCodesByRejection(t *testing.T) {
+	_, svc, hs := newTestServer(t, Options{MaxSessions: 1})
+	if code, _ := postIngest(t, hs.URL, mkBatch("a", 2, 8, 1, 0)); code != http.StatusOK {
+		t.Fatalf("first ingest code=%d", code)
+	}
+	if code, r := postIngest(t, hs.URL, mkBatch("b", 2, 8, 1, 0)); code != http.StatusTooManyRequests || r.Rejected != RejectSessionLimit {
+		t.Fatalf("session limit: code=%d reply=%+v", code, r)
+	}
+	if code, r := postIngest(t, hs.URL, mkBatch("a", 4, 8, 1, 0)); code != http.StatusBadRequest || r.Rejected != RejectMismatch {
+		t.Fatalf("mismatch: code=%d reply=%+v", code, r)
+	}
+	if code, r := postIngest(t, hs.URL, mkBatch("", 2, 8, 1, 0)); code != http.StatusBadRequest || r.Rejected != RejectMalformed {
+		t.Fatalf("malformed: code=%d reply=%+v", code, r)
+	}
+	svc.StartDraining()
+	if code, r := postIngest(t, hs.URL, mkBatch("a", 2, 8, 1, 0)); code != http.StatusServiceUnavailable || r.Rejected != RejectDraining {
+		t.Fatalf("draining: code=%d reply=%+v", code, r)
+	}
+}
+
+func TestHTTPCorruptEnvelopeRejected(t *testing.T) {
+	_, svc, hs := newTestServer(t, Options{})
+	body, _ := SealJSON(mkBatch("a", 2, 8, 1, 0))
+	body[len(body)-1] ^= 0xff // flip a payload bit: CRC must catch it
+	resp, err := http.Post(hs.URL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt envelope: code=%d, want 400", resp.StatusCode)
+	}
+	if st := svc.SnapshotStats(); st.RejectedMalformed != 1 {
+		t.Fatalf("wire corruption not in taxonomy: %+v", st)
+	}
+	if st := svc.SnapshotStats(); st.Sessions != 0 {
+		t.Fatal("corrupt envelope created a session")
+	}
+}
+
+func TestHTTPHealthAndReadyProbes(t *testing.T) {
+	srv, svc, hs := newTestServer(t, Options{})
+	get := func(path string) (int, string) {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	// Not ready until the owner says so.
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("starting")) {
+		t.Fatalf("readyz before SetReady: %d %q", code, body)
+	}
+	srv.SetReady(true)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after SetReady: %d", code)
+	}
+	svc.StartDraining()
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("draining")) {
+		t.Fatalf("healthz while draining: %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("draining")) {
+		t.Fatalf("readyz while draining: %d %q", code, body)
+	}
+}
+
+func TestHTTPStatsEndpoint(t *testing.T) {
+	_, svc, hs := newTestServer(t, Options{})
+	postIngest(t, hs.URL, mkBatch("a", 2, 8, 2, 0))
+	svc.Tick(0)
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Decisions != 1 || st.SamplesAccepted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

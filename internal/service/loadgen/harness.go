@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"intracache/internal/service"
+)
+
+// HarnessConfig drives one deterministic load run: a fleet, a service,
+// a step count, and optionally a mid-run kill/restart through a
+// checkpoint file.
+type HarnessConfig struct {
+	Load    Config
+	Service service.Options
+	// Steps is how many fleet steps to run; each step ingests one batch
+	// per application and then runs one service tick.
+	Steps int
+	// Deadline is the per-tick decision budget (0 = unbounded, the
+	// fully deterministic mode).
+	Deadline time.Duration
+	// KillAtStep > 0 checkpoints the service to CheckpointPath after
+	// that step completes, discards it, and restores a fresh service
+	// from the file before continuing — the kill/restart differential.
+	KillAtStep     int
+	CheckpointPath string
+}
+
+// Report summarizes one harness run.
+type Report struct {
+	Steps     int
+	Apps      int
+	Decisions int
+	Restarted bool
+
+	Wall            time.Duration
+	AllocRatePerSec float64
+
+	// P50/P99 are decision-latency percentiles over the run's final
+	// latency ring (post-restart only, if the run restarted).
+	P50 time.Duration
+	P99 time.Duration
+
+	// Rungs counts emitted decisions by degradation rung.
+	Rungs map[string]int
+
+	Stats service.Stats
+}
+
+// Run executes the configured load against a fresh service and returns
+// the report plus the full ordered decision stream (the artifact the
+// soak test compares across runs).
+func Run(hc HarnessConfig) (Report, []service.Decision, error) {
+	if hc.Steps <= 0 {
+		return Report{}, nil, fmt.Errorf("loadgen: step count %d", hc.Steps)
+	}
+	if hc.KillAtStep > 0 {
+		if hc.CheckpointPath == "" {
+			return Report{}, nil, fmt.Errorf("loadgen: KillAtStep without CheckpointPath")
+		}
+		if hc.KillAtStep >= hc.Steps {
+			return Report{}, nil, fmt.Errorf("loadgen: KillAtStep %d outside run of %d steps", hc.KillAtStep, hc.Steps)
+		}
+	}
+	fleet, err := New(hc.Load)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	svc := service.New(hc.Service)
+
+	rep := Report{Apps: len(fleet.Apps), Rungs: make(map[string]int)}
+	var decisions []service.Decision
+	t0 := time.Now()
+	for step := 1; step <= hc.Steps; step++ {
+		for _, b := range fleet.Step() {
+			svc.Ingest(b)
+		}
+		ds := svc.Tick(hc.Deadline)
+		decisions = append(decisions, ds...)
+		for _, d := range ds {
+			rep.Rungs[d.Rung]++
+		}
+		if hc.KillAtStep == step {
+			// The "kill": persist, drop the live service, restore into a
+			// brand-new one. Everything that steers decisions must come
+			// back through the checkpoint file.
+			if err := svc.SaveCheckpoint(hc.CheckpointPath); err != nil {
+				return Report{}, nil, err
+			}
+			svc = service.New(hc.Service)
+			if err := svc.LoadCheckpoint(hc.CheckpointPath); err != nil {
+				return Report{}, nil, err
+			}
+			rep.Restarted = true
+		}
+	}
+	rep.Wall = time.Since(t0)
+	rep.Steps = hc.Steps
+	rep.Decisions = len(decisions)
+	rep.Stats = svc.SnapshotStats()
+	rep.P50 = rep.Stats.LatencyP50
+	rep.P99 = rep.Stats.LatencyP99
+	if rep.Wall > 0 {
+		rep.AllocRatePerSec = float64(rep.Decisions) / rep.Wall.Seconds()
+	}
+	return rep, decisions, nil
+}
+
+// DecisionsByApp splits a decision stream into per-application
+// streams, preserving order. The soak test uses it to check that a
+// clean application's decisions are identical whether or not faulted
+// neighbours share the service.
+func DecisionsByApp(ds []service.Decision) map[string][]service.Decision {
+	out := make(map[string][]service.Decision)
+	for _, d := range ds {
+		out[d.App] = append(out[d.App], d)
+	}
+	return out
+}

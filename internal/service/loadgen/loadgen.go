@@ -1,0 +1,221 @@
+// Package loadgen generates deterministic telemetry load for the
+// partitioning service: a fleet of simulated applications, each
+// synthesizing per-thread counter samples from one of the nine
+// internal/workload profiles, with a seeded subset of the fleet
+// feeding its samples through a fault.Injector before they leave the
+// "agent". Everything derives from one seed, so a fleet replays
+// bit-identically — which is what lets the soak harness compare a
+// kill/restart run against a straight run decision-for-decision.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"intracache/internal/fault"
+	"intracache/internal/service"
+	"intracache/internal/sim"
+	"intracache/internal/workload"
+	"intracache/internal/xrand"
+)
+
+// Config shapes a fleet. The zero value is not useful; Apps must be
+// set. Defaults: 4 threads, 16 ways, 2 samples per batch.
+type Config struct {
+	// Apps is the fleet size (required).
+	Apps int
+	// Threads and Ways are each application's session shape.
+	Threads int
+	Ways    int
+	// BatchSize is samples per ingest batch.
+	BatchSize int
+	// Seed drives every application's RNG substream.
+	Seed uint64
+
+	// Fault is the telemetry fault plan applied to the faulted subset
+	// of the fleet (per-app seeds are derived, so two faulted apps do
+	// not share a fault stream). FaultFraction in [0,1] selects how
+	// much of the fleet is faulted; 0 disables injection entirely.
+	Fault         fault.Plan
+	FaultFraction float64
+
+	// BurstEvery > 0 makes every app send BurstFactor× oversized
+	// batches on every BurstEvery-th step — the load spike that forces
+	// the service's queue-pressure path.
+	BurstEvery  int
+	BurstFactor int
+}
+
+func (c Config) threads() int {
+	if c.Threads <= 0 {
+		return 4
+	}
+	return c.Threads
+}
+
+func (c Config) ways() int {
+	if c.Ways <= 0 {
+		return 16
+	}
+	return c.Ways
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 2
+	}
+	return c.BatchSize
+}
+
+func (c Config) burstFactor() int {
+	if c.BurstFactor <= 1 {
+		return 4
+	}
+	return c.BurstFactor
+}
+
+// App is one simulated application: a profile-driven counter
+// synthesizer plus, for the faulted subset, a fault injector the
+// samples pass through on their way out.
+type App struct {
+	Name    string
+	Profile workload.Profile
+	Faulted bool
+
+	threads  int
+	ways     int
+	rng      *xrand.Rand
+	inj      *fault.Injector
+	interval int
+}
+
+// Fleet is the full set of simulated applications, in a fixed order.
+type Fleet struct {
+	cfg  Config
+	Apps []*App
+	step int
+}
+
+// New builds a fleet. Each application gets its own RNG substream
+// (derived from Config.Seed and the app index) and, if selected into
+// the faulted fraction, its own fault injector with a derived seed.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Apps <= 0 {
+		return nil, fmt.Errorf("loadgen: fleet size %d", cfg.Apps)
+	}
+	if cfg.FaultFraction < 0 || cfg.FaultFraction > 1 {
+		return nil, fmt.Errorf("loadgen: fault fraction %v outside [0,1]", cfg.FaultFraction)
+	}
+	if cfg.FaultFraction > 0 {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	profiles := workload.Profiles()
+	f := &Fleet{cfg: cfg}
+	// One selector stream decides faulted membership up front so the
+	// subset is a pure function of (Seed, FaultFraction, app index),
+	// independent of per-app draw counts.
+	sel := xrand.New(cfg.Seed ^ 0x10ad5e1ec7)
+	for i := 0; i < cfg.Apps; i++ {
+		p := profiles[i%len(profiles)]
+		a := &App{
+			Name:    fmt.Sprintf("%s-%04d", p.Name, i),
+			Profile: p,
+			threads: cfg.threads(),
+			ways:    cfg.ways(),
+			rng:     xrand.New(cfg.Seed + 0x9e3779b97f4a7c15*uint64(i+1)),
+		}
+		if cfg.FaultFraction > 0 && sel.Float64() < cfg.FaultFraction {
+			plan := cfg.Fault
+			plan.Seed = cfg.Seed ^ (0xfa0b1a5 + uint64(i)*0x9e3779b9)
+			inj, err := fault.NewInjector(plan, nil)
+			if err != nil {
+				return nil, err
+			}
+			a.Faulted = true
+			a.inj = inj
+		}
+		f.Apps = append(f.Apps, a)
+	}
+	return f, nil
+}
+
+// sample synthesizes one interval's counters for the app: base CPI
+// from the profile's working-set sizes, sinusoidal phase drift, and
+// plausible miss-hierarchy counters, all jittered from the app's
+// private RNG stream. WaysAssigned is left zero on purpose — the
+// service stamps the true allocation server-side and must not trust
+// the producer's claim.
+func (a *App) sample() service.Sample {
+	const instructions = 100_000
+	threads := make([]sim.ThreadIntervalStats, a.threads)
+	for t := range threads {
+		ws := float64(a.Profile.WSKB[t%4])
+		base := 0.9 + ws/128 // bigger working sets run slower
+		phase := 1.0
+		if a.Profile.Phase.Kind == workload.PhaseSine && a.Profile.Phase.Period > 0 {
+			phase = 1 + a.Profile.Phase.Amplitude*
+				math.Sin(2*math.Pi*(float64(a.interval)/float64(a.Profile.Phase.Period)+float64(t)/4))
+		}
+		cpi := base * phase * (0.95 + 0.1*a.rng.Float64())
+		missRate := 0.002 + ws/(64*1024) + 0.01*a.Profile.StreamWeight[t%4]
+		l2acc := uint64(float64(instructions) * a.Profile.MemRatio * 0.3)
+		l2miss := uint64(float64(l2acc) * missRate * 10)
+		if l2miss > l2acc {
+			l2miss = l2acc
+		}
+		threads[t] = sim.ThreadIntervalStats{
+			Instructions: instructions,
+			ActiveCycles: uint64(cpi * instructions),
+			StallCycles:  uint64(cpi * instructions * 0.25),
+			L1Misses:     uint64(float64(instructions) * a.Profile.MemRatio * 0.6),
+			L2Accesses:   l2acc,
+			L2Hits:       l2acc - l2miss,
+			L2Misses:     l2miss,
+		}
+	}
+	smp := service.Sample{Interval: a.interval, Threads: threads}
+	a.interval++
+	if a.inj != nil {
+		iv := a.inj.Perturb(sim.IntervalStats{Index: smp.Interval, Threads: smp.Threads})
+		smp.Threads = iv.Threads
+	}
+	return smp
+}
+
+// NextBatch synthesizes the app's next ingest batch of n samples.
+func (a *App) NextBatch(n int) service.Batch {
+	b := service.Batch{App: a.Name, Threads: a.threads, Ways: a.ways}
+	for i := 0; i < n; i++ {
+		b.Samples = append(b.Samples, a.sample())
+	}
+	return b
+}
+
+// Step produces one batch per application for the fleet's next step,
+// in fleet order. On burst steps every batch is BurstFactor× the
+// configured size.
+func (f *Fleet) Step() []service.Batch {
+	f.step++
+	n := f.cfg.batchSize()
+	if f.cfg.BurstEvery > 0 && f.step%f.cfg.BurstEvery == 0 {
+		n *= f.cfg.burstFactor()
+	}
+	out := make([]service.Batch, 0, len(f.Apps))
+	for _, a := range f.Apps {
+		out = append(out, a.NextBatch(n))
+	}
+	return out
+}
+
+// FaultedApps returns the names of the faulted subset, in fleet order.
+func (f *Fleet) FaultedApps() []string {
+	var out []string
+	for _, a := range f.Apps {
+		if a.Faulted {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}

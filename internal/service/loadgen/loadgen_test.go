@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"testing"
+
+	"intracache/internal/fault"
+)
+
+func TestFleetDeterminism(t *testing.T) {
+	cfg := Config{Apps: 12, Seed: 42, Fault: fault.Plan{CPINoise: 0.4, DropRate: 0.2}, FaultFraction: 0.5}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		ba, bb := a.Step(), b.Step()
+		if len(ba) != len(bb) {
+			t.Fatalf("step %d: %d vs %d batches", step, len(ba), len(bb))
+		}
+		for i := range ba {
+			if ba[i].App != bb[i].App || len(ba[i].Samples) != len(bb[i].Samples) {
+				t.Fatalf("step %d batch %d shape diverged", step, i)
+			}
+			for j := range ba[i].Samples {
+				for k := range ba[i].Samples[j].Threads {
+					if ba[i].Samples[j].Threads[k] != bb[i].Samples[j].Threads[k] {
+						t.Fatalf("step %d app %s sample %d thread %d diverged", step, ba[i].App, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFaultedSubsetSelection(t *testing.T) {
+	f, err := New(Config{Apps: 100, Seed: 7, Fault: fault.Plan{DropRate: 0.5}, FaultFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(f.FaultedApps())
+	if n == 0 || n == 100 {
+		t.Fatalf("faulted subset %d of 100, want a strict fraction", n)
+	}
+	// Same seed, same subset.
+	g, _ := New(Config{Apps: 100, Seed: 7, Fault: fault.Plan{DropRate: 0.5}, FaultFraction: 0.25})
+	fa, ga := f.FaultedApps(), g.FaultedApps()
+	if len(fa) != len(ga) {
+		t.Fatalf("subset size diverged: %d vs %d", len(fa), len(ga))
+	}
+	for i := range fa {
+		if fa[i] != ga[i] {
+			t.Fatalf("subset member %d diverged: %s vs %s", i, fa[i], ga[i])
+		}
+	}
+	// FaultFraction 0 faults nobody.
+	h, _ := New(Config{Apps: 100, Seed: 7})
+	if len(h.FaultedApps()) != 0 {
+		t.Fatal("zero fraction still faulted apps")
+	}
+}
+
+func TestBurstSteps(t *testing.T) {
+	f, err := New(Config{Apps: 2, BatchSize: 2, BurstEvery: 3, BurstFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{2, 2, 8, 2, 2, 8}
+	for step, want := range sizes {
+		bs := f.Step()
+		if got := len(bs[0].Samples); got != want {
+			t.Fatalf("step %d batch size %d, want %d", step+1, got, want)
+		}
+	}
+}
+
+func TestHarnessRunSmoke(t *testing.T) {
+	rep, ds, err := Run(HarnessConfig{
+		Load:  Config{Apps: 10, Seed: 3, BatchSize: 2},
+		Steps: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Apps != 10 || rep.Steps != 5 || rep.Decisions != len(ds) || rep.Decisions == 0 {
+		t.Fatalf("report %+v, %d decisions", rep, len(ds))
+	}
+	if rep.Stats.SamplesAccepted == 0 || rep.Rungs["model"] == 0 {
+		t.Fatalf("report stats %+v rungs %+v", rep.Stats, rep.Rungs)
+	}
+	byApp := DecisionsByApp(ds)
+	if len(byApp) != 10 {
+		t.Fatalf("decisions cover %d apps, want 10", len(byApp))
+	}
+}
+
+func TestHarnessValidation(t *testing.T) {
+	if _, _, err := Run(HarnessConfig{Load: Config{Apps: 1}}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, _, err := Run(HarnessConfig{Load: Config{Apps: 1}, Steps: 4, KillAtStep: 2}); err == nil {
+		t.Fatal("kill without checkpoint path accepted")
+	}
+	if _, _, err := Run(HarnessConfig{Load: Config{Apps: 1}, Steps: 4, KillAtStep: 9,
+		CheckpointPath: t.TempDir() + "/c"}); err == nil {
+		t.Fatal("kill beyond run length accepted")
+	}
+	if _, _, err := Run(HarnessConfig{Load: Config{Apps: 0}, Steps: 1}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// The samples a clean (unfaulted) app produces must be identical
+// whether or not other apps in the fleet are faulted — the property the
+// soak test's no-cross-session-interference check rests on.
+func TestCleanAppsUnaffectedByFaultedNeighbours(t *testing.T) {
+	mixed, err := New(Config{Apps: 20, Seed: 11, Fault: fault.Plan{CPINoise: 0.5, DropRate: 0.3}, FaultFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := New(Config{Apps: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := make(map[string]bool)
+	for _, name := range mixed.FaultedApps() {
+		faulted[name] = true
+	}
+	for step := 0; step < 4; step++ {
+		bm, bc := mixed.Step(), clean.Step()
+		for i := range bm {
+			if faulted[bm[i].App] {
+				continue
+			}
+			for j := range bm[i].Samples {
+				for k := range bm[i].Samples[j].Threads {
+					if bm[i].Samples[j].Threads[k] != bc[i].Samples[j].Threads[k] {
+						t.Fatalf("clean app %s telemetry changed under faulted neighbours (step %d)", bm[i].App, step)
+					}
+				}
+			}
+		}
+	}
+}

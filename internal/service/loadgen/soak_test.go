@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"intracache/internal/fault"
+	"intracache/internal/service"
+)
+
+// TestServiceSoak is the PR's acceptance pin: ≥1000 concurrent
+// simulated applications at production rates with seeded telemetry
+// faults and a mid-run kill/restart. It asserts, in one run family:
+//
+//   - post-restart decisions identical to an unkilled run (run A vs B);
+//   - no cross-session interference: every clean application's decision
+//     stream is identical whether its neighbours are faulted or not
+//     (run A vs C);
+//   - p99 decision latency within the declared SLO;
+//   - the full degradation/drop taxonomy actually exercised (burst
+//     steps force queue pressure, fault plans force engine demotions).
+//
+// All three runs use tick budget 0 (no wall-clock deadline), which is
+// what makes the differentials exact; the deadline rung has its own
+// deterministic unit test in internal/service.
+func TestServiceSoak(t *testing.T) {
+	apps, steps := 1000, 24
+	if testing.Short() {
+		apps, steps = 200, 12
+	}
+	const p99SLO = 100 * time.Millisecond
+
+	load := Config{
+		Apps:      apps,
+		Threads:   4,
+		Ways:      16,
+		BatchSize: 2,
+		Seed:      20260808,
+		Fault: fault.Plan{
+			CPINoise:  0.5,
+			DropRate:  0.2,
+			StuckRate: 0.3,
+		},
+		FaultFraction: 0.25,
+		BurstEvery:    10,
+		BurstFactor:   10, // 20-sample bursts overflow QueueCap 16 → drop-oldest fires
+
+	}
+	svcOpts := service.Options{
+		QueueCap:          16,
+		MaxSamplesPerTick: 4,
+		PressureHighWater: 10,
+	}
+
+	runA, dsA, err := Run(HarnessConfig{Load: load, Service: svcOpts, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("straight run: %d decisions over %d steps, wall %v, p50 %v p99 %v, rungs %v",
+		runA.Decisions, runA.Steps, runA.Wall, runA.P50, runA.P99, runA.Rungs)
+	t.Logf("taxonomy: %+v", runA.Stats)
+
+	// (1) kill/restart differential: checkpoint + restore mid-run, same
+	// remaining schedule, decision streams must match bit-for-bit.
+	runB, dsB, err := Run(HarnessConfig{
+		Load: load, Service: svcOpts, Steps: steps,
+		KillAtStep:     steps / 2,
+		CheckpointPath: filepath.Join(t.TempDir(), "soak.ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runB.Restarted {
+		t.Fatal("kill/restart run never restarted")
+	}
+	if !service.DecisionsEqual(dsA, dsB) {
+		i := firstDivergence(dsA, dsB)
+		t.Fatalf("post-restart decisions diverged from the unkilled run at index %d:\nA: %+v\nB: %+v",
+			i, at(dsA, i), at(dsB, i))
+	}
+
+	// (2) no cross-session interference: rerun with faults off; every
+	// clean app's per-app decision stream must be unchanged, because a
+	// faulted neighbour may only ever damage its own session.
+	cleanLoad := load
+	cleanLoad.FaultFraction = 0
+	_, dsC, err := Run(HarnessConfig{Load: cleanLoad, Service: svcOpts, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := New(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := make(map[string]bool)
+	for _, name := range fleet.FaultedApps() {
+		faulted[name] = true
+	}
+	if len(faulted) == 0 || len(faulted) == apps {
+		t.Fatalf("faulted subset %d of %d is not a strict fraction", len(faulted), apps)
+	}
+	byA, byC := DecisionsByApp(dsA), DecisionsByApp(dsC)
+	checked := 0
+	for app, a := range byA {
+		if faulted[app] {
+			continue
+		}
+		if !service.DecisionsEqual(a, byC[app]) {
+			t.Fatalf("clean app %s: decisions changed under faulted neighbours", app)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no clean apps to check")
+	}
+	t.Logf("cross-session interference: %d clean apps pinned identical next to %d faulted", checked, len(faulted))
+
+	// (3) SLO: p99 decision latency within budget.
+	if runA.P99 <= 0 || runA.P99 > p99SLO {
+		t.Fatalf("p99 decision latency %v outside SLO (0, %v]", runA.P99, p99SLO)
+	}
+
+	// (4) taxonomy: the run must actually exercise the degradation and
+	// drop machinery, not just the happy path.
+	st := runA.Stats
+	if st.Sessions != apps || st.PeakSessions != apps {
+		t.Fatalf("sessions=%d peak=%d, want %d", st.Sessions, st.PeakSessions, apps)
+	}
+	if st.DroppedOldest == 0 {
+		t.Error("burst steps never tripped drop-oldest backpressure")
+	}
+	if st.DroppedPressure == 0 || st.LastGoodPressure == 0 {
+		t.Errorf("queue pressure rung never fired: dropped=%d lastgood=%d", st.DroppedPressure, st.LastGoodPressure)
+	}
+	if st.RungModel == 0 {
+		t.Error("no decisions on the healthy model rung")
+	}
+	if st.RungProportional+st.RungStatic == 0 {
+		t.Error("faulted telemetry never demoted any engine below the model rung")
+	}
+	if st.EngineDemotions == 0 {
+		t.Error("no engine demotions recorded")
+	}
+	if st.EngineRejectedSamples == 0 {
+		t.Error("no samples rejected by engine validation")
+	}
+	if runA.Rungs[service.RungLastGood] == 0 {
+		t.Error("no last-good decisions in the rung histogram")
+	}
+}
+
+func firstDivergence(a, b []service.Decision) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !service.DecisionsEqual(a[i:i+1], b[i:i+1]) {
+			return i
+		}
+	}
+	return n
+}
+
+func at(ds []service.Decision, i int) interface{} {
+	if i < len(ds) {
+		return ds[i]
+	}
+	return "<past end>"
+}
