@@ -9,7 +9,12 @@
 //	sweep -kind interval -bench swim        # execution-interval sweep
 //	sweep -kind threads  -bench mgrid       # core-count sweep
 //	sweep -kind robust                      # policies × fault levels
+//	sweep -kind mechanism                   # partitioning mechanisms × policies
 //	sweep -kind cache -json                 # machine-readable output
+//
+// Cell sweeps accept -mechanism ways|sets|cluster (plus -set-groups /
+// -clusters geometry knobs) to run the candidate on a different
+// partitioning geometry; -kind mechanism sweeps all three at once.
 //
 // Long sweeps are crash-safe: with -resume DIR each finished cell is
 // journaled to DIR and a rerun (after a crash, a kill, or ctrl-C) skips
@@ -47,6 +52,8 @@ import (
 	"syscall"
 	"time"
 
+	"intracache/internal/cache"
+	"intracache/internal/checkpoint"
 	"intracache/internal/core"
 	"intracache/internal/dsweep"
 	"intracache/internal/experiment"
@@ -64,10 +71,13 @@ const (
 )
 
 func main() {
-	kind := flag.String("kind", "cache", "sweep kind: cache, interval, threads, robust")
-	bench := flag.String("bench", "cg", "benchmark to sweep")
+	kind := flag.String("kind", "cache", "sweep kind: cache, interval, threads, robust, mechanism")
+	bench := flag.String("bench", "cg", "benchmark to sweep (kind=mechanism: all nine unless set)")
 	baseName := flag.String("baseline", "shared", "baseline policy")
-	candName := flag.String("candidate", "model-based", "candidate policy")
+	candName := flag.String("candidate", "model-based", "candidate policy (kind=mechanism: the full partition-capable ladder unless set)")
+	mechName := flag.String("mechanism", "ways", "partitioning mechanism for the candidate: ways, sets, cluster (ignored by kind=mechanism, which sweeps all)")
+	setGroups := flag.Int("set-groups", 0, "sets mechanism: number of set groups (0 = cache default)")
+	clusters := flag.Int("clusters", 0, "cluster mechanism: number of set clusters (0 = cache default)")
 	sections := flag.Int("sections", 40, "fixed work per run (parallel sections)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
@@ -95,6 +105,8 @@ func main() {
 	chaosSpec := flag.String("chaos", "", `execution-fault plan injected into workers for chaos testing, e.g. "seed=7,kill=0.2,hang=0.1" (see internal/fault)`)
 	workerJournal := flag.String("worker-journal", "", "worker mode: journal each computed cell here before replying, so a dying worker's work is recoverable")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *workerMode != "" {
 		runWorker(*workerMode, *workerJournal, *chaosSpec)
@@ -130,6 +142,13 @@ func main() {
 	cfg.Pipeline = *pipeline
 	cfg.ParallelGen = *parallelGen
 	cfg.TraceCacheMB = *traceCacheMB
+	mech, err := cache.ParseMechanism(*mechName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Mechanism = mech
+	cfg.SetGroups = *setGroups
+	cfg.Clusters = *clusters
 
 	// A first ctrl-C / SIGTERM cancels the sweep: no new cells start,
 	// in-flight cells stop at their next interval boundary, and finished
@@ -165,6 +184,36 @@ func main() {
 		runRobust(ctx, cfg, opts, *asJSON, *outPath, stopProfile)
 		return
 	}
+	if *kind == "mechanism" {
+		var dispatch experiment.SweepDispatch
+		if distributed {
+			dc := distConfig{
+				execWorkers:  *execWorkers,
+				urls:         *workerURLs,
+				lease:        *lease,
+				chaos:        *chaosSpec,
+				resumeDir:    *resume,
+				localWorkers: *workers,
+			}
+			dispatch = func(ctx context.Context, points []experiment.SweepPoint, benchmark string,
+				b, c core.Policy, o experiment.SweepOptions) ([]experiment.SweepResult, error) {
+				return runDistributed(ctx, points, benchmark, b, c, o, dc)
+			}
+		}
+		// -bench and -candidate narrow the matrix only when given
+		// explicitly; their cell-sweep defaults would otherwise shrink
+		// the default all-benchmarks × policy-ladder grid to one cell.
+		var benchSet []string
+		if explicit["bench"] {
+			benchSet = []string{*bench}
+		}
+		var policies []core.Policy
+		if explicit["candidate"] {
+			policies = []core.Policy{candidate}
+		}
+		runMechanism(ctx, cfg, opts, benchSet, policies, baseline, *asJSON, *outPath, dispatch, stopProfile)
+		return
+	}
 
 	var points []experiment.SweepPoint
 	switch *kind {
@@ -196,6 +245,13 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
+	}
+
+	if opts.JournalPath != "" {
+		if err := checkJournalMechanism(opts.JournalPath, points, *bench, baseline,
+			candidate, opts.Shards, cfg.Mechanism); err != nil {
+			fatal(err)
+		}
 	}
 
 	var results []experiment.SweepResult
@@ -361,8 +417,15 @@ func runDistributed(ctx context.Context, points []experiment.SweepPoint, bench s
 			}
 			defer os.RemoveAll(dir)
 		}
+		// Worker journals are named after the coordinator journal so a
+		// mechanism sweep's per-slice runDistributed calls (and sweeps of
+		// different kinds sharing a -resume dir) never collide.
+		prefix := "worker"
+		if opts.JournalPath != "" {
+			prefix = strings.TrimSuffix(filepath.Base(opts.JournalPath), ".journal") + "-worker"
+		}
 		for i := 0; i < dc.execWorkers; i++ {
-			wj := filepath.Join(dir, fmt.Sprintf("worker%d.journal", i))
+			wj := filepath.Join(dir, fmt.Sprintf("%s%d.journal", prefix, i))
 			argv := []string{exe, "-worker", "stdio", "-worker-journal", wj}
 			if dc.chaos != "" {
 				argv = append(argv, "-chaos", dc.chaos)
@@ -540,6 +603,113 @@ func runRobust(ctx context.Context, cfg experiment.Config, opts experiment.Sweep
 		stopProfile()
 		os.Exit(exitPartial)
 	}
+}
+
+// runMechanism sweeps partitioning mechanisms × policies × benchmarks
+// against the shared baseline and prints the comparison matrix plus a
+// per-benchmark winner table. Each (benchmark, policy) slice journals
+// separately under -resume; when workers are configured each slice is
+// dispatched through the distributed coordinator.
+func runMechanism(ctx context.Context, cfg experiment.Config, opts experiment.SweepOptions,
+	benchmarks []string, policies []core.Policy, baseline core.Policy,
+	asJSON bool, outPath string, dispatch experiment.SweepDispatch, stopProfile func()) {
+	cells, err := experiment.MechanismSweep(ctx, experiment.MechanismSweepSpec{
+		Cfg:        cfg,
+		Benchmarks: benchmarks,
+		Policies:   policies,
+		Baseline:   baseline,
+		Opts:       opts,
+		Dispatch:   dispatch,
+	})
+	if err != nil {
+		reportInterrupted(err, opts.JournalPath)
+		fatal(err)
+	}
+	if outPath != "" {
+		if err := report.SaveJSON(outPath, cells); err != nil {
+			fatal(err)
+		}
+	}
+	failed, kinds := 0, map[string]int{}
+	for _, c := range cells {
+		if c.Err != nil {
+			failed++
+			kinds[experiment.CellErrorKind(c.Err)]++
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%s: %v\n", c.Benchmark, c.Policy, c.Mechanism, c.Err)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cells); err != nil {
+			fatal(err)
+		}
+	} else {
+		rows, cols, vals := experiment.MechanismMatrix(cells)
+		fmt.Print(report.ComparisonMatrix(
+			"mechanisms: mean improvement over shared baseline (%), policies x mechanisms",
+			rows, cols, vals))
+		// Winner table under the strongest policy in the matrix.
+		winner := core.PolicyModelBased
+		present := map[core.Policy]bool{}
+		for _, c := range cells {
+			present[c.Policy] = true
+		}
+		if !present[winner] && len(cells) > 0 {
+			winner = cells[0].Policy
+		}
+		if best := experiment.MechanismBestFor(cells, winner); len(best) > 0 {
+			fmt.Println()
+			printed := map[string]bool{}
+			for _, c := range cells {
+				if m, ok := best[c.Benchmark]; ok && !printed[c.Benchmark] {
+					printed[c.Benchmark] = true
+					fmt.Printf("best mechanism for %-8s %s (%s)\n", c.Benchmark+":", m, winner)
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells failed (%s); partial results above\n",
+			failed, len(cells), kindCounts(kinds))
+		stopProfile()
+		os.Exit(exitPartial)
+	}
+}
+
+// checkJournalMechanism turns the journal's generic fingerprint-
+// mismatch error into a specific one when the mismatch is exactly the
+// -mechanism flag: it re-fingerprints the sweep under each other
+// mechanism and, on a match, says which geometry the journal was
+// written under. Any other difference falls through to OpenJournal's
+// generic refusal.
+func checkJournalMechanism(path string, points []experiment.SweepPoint, bench string,
+	baseline, candidate core.Policy, shards int, mech cache.Mechanism) error {
+	have, err := checkpoint.JournalFingerprint(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if experiment.SweepFingerprint(points, bench, baseline, candidate, shards) == have {
+		return nil
+	}
+	for _, m := range cache.Mechanisms() {
+		if m == mech {
+			continue
+		}
+		alt := make([]experiment.SweepPoint, len(points))
+		for i, p := range points {
+			alt[i] = p
+			alt[i].Cfg = p.Cfg.WithMechanism(m)
+		}
+		if experiment.SweepFingerprint(alt, bench, baseline, candidate, shards) == have {
+			return fmt.Errorf("journal %s was written with -mechanism %s, not %s; rerun with -mechanism %s or point -resume at a fresh directory",
+				path, m, mech, m)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

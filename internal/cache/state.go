@@ -101,10 +101,16 @@ func (c *Cache) Restore(st State) error {
 		c.psel = append([]int(nil), st.Psel...)
 		c.bipCount = append([]uint32(nil), st.BipCount...)
 	}
-	// The resident-line index and recency lists are derived state,
-	// deliberately absent from State; rebuild them for the restored
-	// contents (before the invariant check, which cross-validates them
-	// against the line arrays).
+	// The mechanism placements (set-group starts, per-cluster way
+	// targets), resident-line index, and recency lists are derived
+	// state, deliberately absent from State; rebuild them for the
+	// restored contents (before the invariant check, which
+	// cross-validates them against the line arrays). layoutRebuild also
+	// validates the restored target vector against the mode's
+	// feasibility rules.
+	if err := c.layoutRebuild(); err != nil {
+		return fmt.Errorf("cache: restored state is inconsistent: %w", err)
+	}
 	c.idxRebuild()
 	c.lruRebuild()
 	if err := c.checkInvariants(); err != nil {

@@ -77,6 +77,26 @@ func ReadJournal(path, fingerprint string) (map[string]json.RawMessage, error) {
 	return replayJournal(path, fingerprint)
 }
 
+// JournalFingerprint reads the fingerprint in the journal header at
+// path without replaying entries. Callers that can *name* alternative
+// configurations (the sweep CLI probing which -mechanism a journal was
+// written under) use it to turn the generic mismatch error into a
+// specific one. A missing file satisfies os.IsNotExist.
+func JournalFingerprint(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", err
+		}
+		return "", fmt.Errorf("checkpoint: reading journal: %w", err)
+	}
+	line, _, _ := strings.Cut(string(data), "\n")
+	if !strings.HasPrefix(line, journalHeader+" ") {
+		return "", fmt.Errorf("checkpoint: %s is not a journal (bad header)", path)
+	}
+	return strings.TrimPrefix(line, journalHeader+" "), nil
+}
+
 // replayJournal is the shared read path: header check, fingerprint
 // check, per-line CRC validation, torn-final-line tolerance.
 func replayJournal(path, fingerprint string) (map[string]json.RawMessage, error) {

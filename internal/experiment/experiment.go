@@ -49,6 +49,17 @@ type Config struct {
 	UMONStride int
 	Seed       uint64
 
+	// Mechanism selects the L2 partitioning geometry for partitioned
+	// policies: way targets (cache.MechWays, the default and the
+	// paper's Section V scheme), aligned set-index ranges
+	// (cache.MechSets), or per-cluster way targets (cache.MechCluster).
+	// SetGroups and Clusters override the geometry knobs (0 = the cache
+	// package defaults). Policies without a partitioned L2 (shared,
+	// private, tadip) ignore all three.
+	Mechanism cache.Mechanism
+	SetGroups int
+	Clusters  int
+
 	// Fault, when non-nil and non-zero, injects deterministic telemetry
 	// faults between the simulator and the policy's controller (see
 	// internal/fault). Policies without a controller (shared, private,
@@ -158,8 +169,10 @@ func (c Config) simParams(pol core.Policy) sim.Params {
 		L2: cache.Config{
 			SizeBytes: c.L2KB * 1024, Ways: c.L2Ways,
 			LineBytes: c.LineBytes, NumThreads: c.NumThreads,
+			SetGroups: c.SetGroups, Clusters: c.Clusters,
 		},
 		L2Org:                core.L2OrgFor(pol),
+		Mechanism:            c.Mechanism,
 		BaseCycles:           c.BaseCycles,
 		L2HitCycles:          c.L2HitCycles,
 		MemCycles:            c.MemCycles,

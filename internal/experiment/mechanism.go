@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"intracache/internal/cache"
+	"intracache/internal/core"
+	"intracache/internal/workload"
+)
+
+// This file is the mechanism-comparison harness: it sweeps partitioning
+// geometries (ways / sets / cluster) × policies × benchmarks to answer
+// the question the paper's Section V fixes by fiat — does the
+// eviction-control way mechanism actually beat the cheaper-to-build
+// alternatives (set-index ranges, clustered way masks) once the same
+// allocation policies run on top of all three?
+
+// WithMechanism returns a copy of the config running the given
+// partitioning geometry.
+func (c Config) WithMechanism(m cache.Mechanism) Config {
+	c.Mechanism = m
+	return c
+}
+
+// SweepDispatch computes one benchmark's point sweep. The experiment
+// package cannot depend on the distributed executor (dsweep imports
+// experiment), so execution is injected: cmd/sweep passes a
+// dsweep-backed dispatcher for -distributed runs, and nil means
+// SweepJournaled in-process.
+type SweepDispatch func(ctx context.Context, points []SweepPoint, benchmark string,
+	baseline, candidate core.Policy, opts SweepOptions) ([]SweepResult, error)
+
+// MechanismCell is one (mechanism, policy, benchmark) outcome of a
+// mechanism sweep: the candidate policy's improvement over the shared
+// baseline on fixed work, under the given partitioning geometry.
+type MechanismCell struct {
+	Mechanism      cache.Mechanism
+	Policy         core.Policy
+	Benchmark      string
+	ImprovementPct float64
+	BaselineCycles uint64
+	DynamicCycles  uint64
+	// Attempts counts how many tries the cell took (0 when the result
+	// was read back from a journal); Resumed marks journal read-back.
+	Attempts int
+	Resumed  bool
+	Err      error
+}
+
+// MechanismSweepSpec configures a mechanism sweep. Nil slice fields get
+// the canonical defaults: all nine benchmarks, every mechanism, and the
+// partition-capable policy ladder {static-equal, cpi-proportional,
+// model-based, throughput-ucp}.
+type MechanismSweepSpec struct {
+	Cfg        Config
+	Benchmarks []string
+	Policies   []core.Policy
+	Mechanisms []cache.Mechanism
+	// Baseline is the common reference policy (default PolicyShared;
+	// its cells run with the way default since an unpartitioned cache
+	// has no mechanism).
+	Baseline core.Policy
+	Opts     SweepOptions
+	// Dispatch overrides how each (benchmark, policy) slice executes;
+	// nil runs SweepJournaled in-process.
+	Dispatch SweepDispatch
+}
+
+// mechanismJournalPath derives the per-(benchmark, policy) slice
+// journal from the base path: each slice is its own sweep with its own
+// fingerprint, so giving each its own journal keeps every slice
+// independently resumable (and lets distributed dispatchers shard them).
+func mechanismJournalPath(base, benchmark string, pol core.Policy) string {
+	if base == "" {
+		return ""
+	}
+	suffix := fmt.Sprintf("-%s-%s", benchmark, pol)
+	if i := strings.LastIndex(base, "."); i > strings.LastIndex(base, "/") {
+		return base[:i] + suffix + base[i:]
+	}
+	return base + suffix
+}
+
+// MechanismSweep runs the mechanisms × policies × benchmarks matrix.
+// Each (benchmark, policy) slice becomes one point sweep with one point
+// per mechanism (labelled by mechanism name), journaled separately when
+// Opts.JournalPath is set. Slices execute sequentially; the points
+// within a slice run on the sweep's worker pool or through the
+// injected dispatcher. Like Sweep, per-cell failures are carried in the
+// cells and the returned error is non-nil only when nothing succeeded
+// or the context was cancelled.
+func MechanismSweep(ctx context.Context, spec MechanismSweepSpec) ([]MechanismCell, error) {
+	benchmarks := spec.Benchmarks
+	if benchmarks == nil {
+		benchmarks = workload.Names()
+	}
+	policies := spec.Policies
+	if policies == nil {
+		policies = []core.Policy{
+			core.PolicyStaticEqual, core.PolicyCPIProportional,
+			core.PolicyModelBased, core.PolicyThroughputUCP,
+		}
+	}
+	mechanisms := spec.Mechanisms
+	if mechanisms == nil {
+		mechanisms = cache.Mechanisms()
+	}
+	if len(benchmarks) == 0 || len(policies) == 0 || len(mechanisms) == 0 {
+		return nil, fmt.Errorf("experiment: empty mechanism sweep")
+	}
+	dispatch := spec.Dispatch
+	if dispatch == nil {
+		dispatch = SweepJournaled
+	}
+
+	points := make([]SweepPoint, len(mechanisms))
+	for i, m := range mechanisms {
+		points[i] = SweepPoint{Label: m.String(), Cfg: spec.Cfg.WithMechanism(m)}
+	}
+
+	var cells []MechanismCell
+	failed := 0
+	for _, b := range benchmarks {
+		for _, p := range policies {
+			opts := spec.Opts
+			opts.JournalPath = mechanismJournalPath(spec.Opts.JournalPath, b, p)
+			results, err := dispatch(ctx, points, b, spec.Baseline, p, opts)
+			if err != nil && ctx.Err() != nil {
+				return cells, fmt.Errorf("experiment: mechanism sweep cancelled at %s/%s: %w", b, p, ctx.Err())
+			}
+			if results == nil && err != nil {
+				// The slice failed before producing per-point results
+				// (bad benchmark, journal open failure): fail fast
+				// rather than burying a setup error in every cell.
+				return cells, fmt.Errorf("experiment: mechanism sweep %s/%s: %w", b, p, err)
+			}
+			for i, r := range results {
+				cell := MechanismCell{
+					Mechanism:      mechanisms[i],
+					Policy:         p,
+					Benchmark:      b,
+					ImprovementPct: r.ImprovementPct,
+					BaselineCycles: r.BaselineCycles,
+					DynamicCycles:  r.DynamicCycles,
+					Attempts:       r.Attempts,
+					Resumed:        r.Resumed,
+					Err:            r.Err,
+				}
+				if cell.Err != nil {
+					failed++
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	if len(cells) > 0 && failed == len(cells) {
+		first := cells[0].Err
+		for _, c := range cells {
+			if c.Err != nil {
+				first = c.Err
+				break
+			}
+		}
+		return cells, fmt.Errorf("experiment: mechanism sweep: all %d cells failed; first: %w", failed, first)
+	}
+	return cells, nil
+}
+
+// MechanismMatrix summarises a sweep as mean improvement over the
+// shared baseline: one row per policy, one column per mechanism,
+// averaged across benchmarks. Errored cells are skipped.
+func MechanismMatrix(cells []MechanismCell) (rowLabels, colLabels []string, values [][]float64) {
+	var policies, mechs []string
+	seenP := map[string]int{}
+	seenM := map[string]int{}
+	for _, c := range cells {
+		p := c.Policy.String()
+		if _, ok := seenP[p]; !ok {
+			seenP[p] = len(policies)
+			policies = append(policies, p)
+		}
+		m := c.Mechanism.String()
+		if _, ok := seenM[m]; !ok {
+			seenM[m] = len(mechs)
+			mechs = append(mechs, m)
+		}
+	}
+	sums := make([][]float64, len(policies))
+	counts := make([][]int, len(policies))
+	for i := range sums {
+		sums[i] = make([]float64, len(mechs))
+		counts[i] = make([]int, len(mechs))
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			continue
+		}
+		i, j := seenP[c.Policy.String()], seenM[c.Mechanism.String()]
+		sums[i][j] += c.ImprovementPct
+		counts[i][j]++
+	}
+	for i := range sums {
+		for j := range sums[i] {
+			if counts[i][j] > 0 {
+				sums[i][j] /= float64(counts[i][j])
+			}
+		}
+	}
+	return policies, mechs, sums
+}
+
+// MechanismBestFor returns, per benchmark, the mechanism with the
+// highest improvement under the given policy — the per-workload winner
+// table the mechanism comparison report prints alongside the means.
+func MechanismBestFor(cells []MechanismCell, pol core.Policy) map[string]cache.Mechanism {
+	best := map[string]cache.Mechanism{}
+	bestVal := map[string]float64{}
+	for _, c := range cells {
+		if c.Err != nil || c.Policy != pol {
+			continue
+		}
+		if v, ok := bestVal[c.Benchmark]; !ok || c.ImprovementPct > v {
+			bestVal[c.Benchmark] = c.ImprovementPct
+			best[c.Benchmark] = c.Mechanism
+		}
+	}
+	return best
+}

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intracache/internal/cache"
+	"intracache/internal/core"
+)
+
+// TestMechanismFingerprintCompat pins the journal-compatibility rule:
+// a way-partitioned config fingerprints exactly as before mechanisms
+// existed (no "mech=" stamp), while sets/cluster configs are stamped —
+// so old journals resume and cross-mechanism state mixing is refused.
+func TestMechanismFingerprintCompat(t *testing.T) {
+	def := DefaultConfig()
+	if fp := def.Fingerprint(); strings.Contains(fp, "mech=") {
+		t.Errorf("default config fingerprint carries a mechanism stamp: %s", fp)
+	}
+	sets := def.WithMechanism(cache.MechSets)
+	if fp := sets.Fingerprint(); !strings.Contains(fp, "mech=sets/0/0") {
+		t.Errorf("sets config fingerprint missing stamp: %s", fp)
+	}
+	clus := def.WithMechanism(cache.MechCluster)
+	clus.Clusters = 16
+	if fp := clus.Fingerprint(); !strings.Contains(fp, "mech=cluster/0/16") {
+		t.Errorf("cluster config fingerprint missing geometry: %s", fp)
+	}
+	if sets.Fingerprint() == clus.Fingerprint() {
+		t.Error("different mechanisms share a fingerprint")
+	}
+}
+
+// TestMechanismCheckpointResumeBitIdentical extends the checkpoint
+// layer's binding invariant to the new geometries: a model-based run on
+// a set-partitioned or clustered L2, killed at an interval boundary and
+// resumed by a fresh process, must produce a byte-identical sim.Result
+// to the straight-through run.
+func TestMechanismCheckpointResumeBitIdentical(t *testing.T) {
+	for _, mech := range []cache.Mechanism{cache.MechSets, cache.MechCluster} {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			cfg := ckptTestConfig().WithMechanism(mech)
+			const bench = "art"
+			pol := core.PolicyModelBased
+
+			straight, err := CheckpointedRun(context.Background(), cfg, bench, pol,
+				ByIntervals, CheckpointSpec{}, nil)
+			if err != nil {
+				t.Fatalf("straight run: %v", err)
+			}
+			want, err := json.Marshal(straight.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stopErr := errors.New("simulated kill")
+			for _, k := range []int{2, 4} {
+				path := filepath.Join(t.TempDir(), fmt.Sprintf("run-%d.ickp", k))
+				stopAt := k
+				hook := func(done int) error {
+					if done == stopAt {
+						return stopErr
+					}
+					return nil
+				}
+				if _, err := CheckpointedRun(context.Background(), cfg, bench, pol,
+					ByIntervals, CheckpointSpec{Path: path}, hook); !errors.Is(err, stopErr) {
+					t.Fatalf("interrupted run returned %v, want the stop error", err)
+				}
+				resumed, err := CheckpointedRun(context.Background(), cfg, bench, pol,
+					ByIntervals, CheckpointSpec{Path: path, Resume: true}, nil)
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				got, err := json.Marshal(resumed.Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: resume after interval %d diverges from the straight-through run", mech, k)
+				}
+			}
+		})
+	}
+}
+
+// TestMechanismCheckpointRefusesCrossMechanism: a checkpoint written
+// under one geometry must not resume under another (the fingerprint
+// stamp is what enforces it).
+func TestMechanismCheckpointRefusesCrossMechanism(t *testing.T) {
+	cfg := ckptTestConfig().WithMechanism(cache.MechSets)
+	path := filepath.Join(t.TempDir(), "run.ickp")
+	if _, err := CheckpointedRun(context.Background(), cfg, "cg", core.PolicyModelBased,
+		ByIntervals, CheckpointSpec{Path: path}, nil); err != nil {
+		t.Fatalf("seeding run: %v", err)
+	}
+	for _, other := range []cache.Mechanism{cache.MechWays, cache.MechCluster} {
+		if _, err := CheckpointedRun(context.Background(), cfg.WithMechanism(other), "cg",
+			core.PolicyModelBased, ByIntervals, CheckpointSpec{Path: path, Resume: true}, nil); err == nil {
+			t.Errorf("resume under %s accepted a checkpoint written under sets", other)
+		}
+	}
+}
+
+// mechSweepConfig is a small config for sweep tests.
+func mechSweepConfig() Config {
+	cfg := QuickConfig()
+	cfg.Sections = 8
+	return cfg
+}
+
+// TestMechanismSweepJournaledResume runs a one-benchmark mechanism
+// sweep twice against the same journal directory: the second pass must
+// read every cell back (Resumed) with identical numbers, and the
+// per-(benchmark, policy) slice journals must exist under their derived
+// names.
+func TestMechanismSweepJournaledResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := MechanismSweepSpec{
+		Cfg:        mechSweepConfig(),
+		Benchmarks: []string{"cg"},
+		Policies:   []core.Policy{core.PolicyStaticEqual},
+		Opts:       SweepOptions{JournalPath: filepath.Join(dir, "mech.journal")},
+	}
+	first, err := MechanismSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+	if len(first) != len(cache.Mechanisms()) {
+		t.Fatalf("got %d cells, want %d", len(first), len(cache.Mechanisms()))
+	}
+	dynamics := map[uint64]bool{}
+	for _, c := range first {
+		if c.Err != nil {
+			t.Fatalf("cell %s/%s: %v", c.Benchmark, c.Mechanism, c.Err)
+		}
+		if c.BaselineCycles == 0 || c.DynamicCycles == 0 {
+			t.Fatalf("cell %s/%s ran nothing: %+v", c.Benchmark, c.Mechanism, c)
+		}
+		dynamics[c.DynamicCycles] = true
+	}
+	// The three geometries genuinely change cache behaviour; if every
+	// mechanism produced identical cycles the plumbing collapsed to one.
+	if len(dynamics) < 2 {
+		t.Errorf("all mechanisms produced identical candidate cycles: %v", dynamics)
+	}
+
+	second, err := MechanismSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("resume pass: %v", err)
+	}
+	for i, c := range second {
+		if !c.Resumed {
+			t.Errorf("cell %d (%s) recomputed instead of resuming", i, c.Mechanism)
+		}
+		if c.ImprovementPct != first[i].ImprovementPct ||
+			c.BaselineCycles != first[i].BaselineCycles ||
+			c.DynamicCycles != first[i].DynamicCycles {
+			t.Errorf("cell %d (%s) resumed different numbers", i, c.Mechanism)
+		}
+	}
+}
+
+// TestMechanismSweepDispatch verifies the execution-injection seam: a
+// custom dispatcher sees one call per (benchmark, policy) slice with
+// one point per mechanism, a slice-derived journal path, and its
+// results flow back into the flattened cells.
+func TestMechanismSweepDispatch(t *testing.T) {
+	var calls []string
+	dispatch := func(ctx context.Context, points []SweepPoint, benchmark string,
+		baseline, candidate core.Policy, opts SweepOptions) ([]SweepResult, error) {
+		calls = append(calls, fmt.Sprintf("%s/%s/%s", benchmark, candidate, opts.JournalPath))
+		out := make([]SweepResult, len(points))
+		for i, p := range points {
+			if p.Cfg.Mechanism.String() != p.Label {
+				t.Errorf("point %d: label %q != config mechanism %s", i, p.Label, p.Cfg.Mechanism)
+			}
+			out[i] = SweepResult{Label: p.Label, Benchmark: benchmark, ImprovementPct: float64(i)}
+		}
+		return out, nil
+	}
+	spec := MechanismSweepSpec{
+		Cfg:        mechSweepConfig(),
+		Benchmarks: []string{"cg", "swim"},
+		Policies:   []core.Policy{core.PolicyStaticEqual, core.PolicyModelBased},
+		Opts:       SweepOptions{JournalPath: "/tmp/x/mech.journal"},
+		Dispatch:   dispatch,
+	}
+	cells, err := MechanismSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := []string{
+		"cg/static-equal//tmp/x/mech-cg-static-equal.journal",
+		"cg/model-based//tmp/x/mech-cg-model-based.journal",
+		"swim/static-equal//tmp/x/mech-swim-static-equal.journal",
+		"swim/model-based//tmp/x/mech-swim-model-based.journal",
+	}
+	if len(calls) != len(wantCalls) {
+		t.Fatalf("dispatcher called %d times: %v", len(calls), calls)
+	}
+	for i, w := range wantCalls {
+		if calls[i] != w {
+			t.Errorf("call %d = %q, want %q", i, calls[i], w)
+		}
+	}
+	if len(cells) != 2*2*len(cache.Mechanisms()) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if cells[1].Mechanism != cache.MechSets || cells[1].ImprovementPct != 1 {
+		t.Errorf("cell 1 misflattened: %+v", cells[1])
+	}
+}
+
+// TestMechanismMatrix checks the report aggregation on synthetic cells.
+func TestMechanismMatrix(t *testing.T) {
+	cells := []MechanismCell{
+		{Mechanism: cache.MechWays, Policy: core.PolicyModelBased, Benchmark: "cg", ImprovementPct: 10},
+		{Mechanism: cache.MechWays, Policy: core.PolicyModelBased, Benchmark: "art", ImprovementPct: 20},
+		{Mechanism: cache.MechSets, Policy: core.PolicyModelBased, Benchmark: "cg", ImprovementPct: 5},
+		{Mechanism: cache.MechSets, Policy: core.PolicyModelBased, Benchmark: "art", Err: errors.New("x")},
+		{Mechanism: cache.MechCluster, Policy: core.PolicyStaticEqual, Benchmark: "cg", ImprovementPct: -3},
+	}
+	rows, cols, vals := MechanismMatrix(cells)
+	if len(rows) != 2 || len(cols) != 3 {
+		t.Fatalf("matrix shape %v × %v", rows, cols)
+	}
+	if vals[0][0] != 15 { // model-based × ways: mean(10, 20)
+		t.Errorf("model-based/ways = %v, want 15", vals[0][0])
+	}
+	if vals[0][1] != 5 { // errored art cell skipped
+		t.Errorf("model-based/sets = %v, want 5", vals[0][1])
+	}
+	best := MechanismBestFor(cells, core.PolicyModelBased)
+	if best["cg"] != cache.MechWays || best["art"] != cache.MechWays {
+		t.Errorf("best-for table wrong: %v", best)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"intracache/internal/cache"
 	"intracache/internal/checkpoint"
 	"intracache/internal/core"
 	"intracache/internal/fault"
@@ -38,11 +39,19 @@ func (c Config) Fingerprint() string {
 	if c.Fault != nil && !c.Fault.IsZero() {
 		faultDesc = fmt.Sprintf("%+v", *c.Fault)
 	}
-	return fmt.Sprintf("cfg1{t=%d l1=%dKB/%dw l2=%dKB/%dw line=%d lat=%d/%d/%d sect=%d iv=%d run=%d/%d umon=%d seed=%d fault=%s}",
+	// Like the shard-count stamp in SweepFingerprint, the mechanism is
+	// stamped only when it departs from the way-partitioning default,
+	// so every journal and checkpoint written before mechanisms existed
+	// stays resumable.
+	mech := ""
+	if c.Mechanism != cache.MechWays || c.SetGroups != 0 || c.Clusters != 0 {
+		mech = fmt.Sprintf(" mech=%s/%d/%d", c.Mechanism, c.SetGroups, c.Clusters)
+	}
+	return fmt.Sprintf("cfg1{t=%d l1=%dKB/%dw l2=%dKB/%dw line=%d lat=%d/%d/%d sect=%d iv=%d run=%d/%d umon=%d seed=%d fault=%s%s}",
 		c.NumThreads, c.L1KB, c.L1Ways, c.L2KB, c.L2Ways, c.LineBytes,
 		c.BaseCycles, c.L2HitCycles, c.MemCycles,
 		c.SectionInstructions, c.IntervalInstructions,
-		c.Intervals, c.Sections, c.UMONStride, c.Seed, faultDesc)
+		c.Intervals, c.Sections, c.UMONStride, c.Seed, faultDesc, mech)
 }
 
 // hashFingerprint folds the parts into a short hex token for journal

@@ -1,0 +1,194 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"intracache/internal/cache"
+)
+
+// SliceHash selects a physical LLC slice from a line address. Real
+// multi-node LLCs steer each address through a fixed hash of its bits;
+// the low bits of the returned value are masked to the application's
+// slice range, so hashes should concentrate their entropy there.
+type SliceHash func(lineAddr uint64) uint64
+
+// DefaultSliceHash XOR-folds the line address, mirroring the XOR-tree
+// slice selectors of commercial multi-bank LLCs: every address bit
+// participates, and consecutive lines still spread across slices.
+func DefaultSliceHash(la uint64) uint64 {
+	return la ^ la>>16 ^ la>>32 ^ la>>48
+}
+
+// SlicedLLC models a physically distributed last-level cache: the LLC
+// is built from NumSlices independent banks ("slices", one per node),
+// and each application owns a contiguous, aligned, power-of-two range
+// of them. An address is steered to a slice by masking the slice hash
+// into the owner's range.
+//
+// This is the inter-node degenerate configuration of set-index
+// partitioning: a slice is exactly an aligned group of sets of the
+// union cache, the slice selector plays the group-index bits, and the
+// per-application slice counts are the set-group targets. The same
+// quantization (cache.QuantizePow2) and placement
+// (cache.AlignedStarts) rules therefore apply unchanged, and
+// TestSlicedLLCDegenerateSetIndex holds the two implementations
+// access-for-access equal.
+type SlicedLLC struct {
+	cfg      cache.Config // full-LLC geometry (per-slice derives from it)
+	hash     SliceHash
+	lineBits uint
+	slices   []*cache.Cache
+	count    []int // per-app slice counts, positive powers of two
+	start    []int // per-app aligned range starts, derived from count
+}
+
+// NewSlicedLLC builds a sliced LLC with the full-LLC geometry cfg split
+// across a power-of-two number of slices, partitioned among apps
+// applications. Each application starts with an equal (quantized) share
+// of the slices. A nil hash selects DefaultSliceHash.
+func NewSlicedLLC(cfg cache.Config, slices, apps int, hash SliceHash) (*SlicedLLC, error) {
+	if slices < 1 || bits.OnesCount(uint(slices)) != 1 {
+		return nil, fmt.Errorf("hierarchy: slice count %d is not a positive power of two", slices)
+	}
+	if apps < 1 || apps > slices {
+		return nil, fmt.Errorf("hierarchy: %d applications for %d slices", apps, slices)
+	}
+	if cfg.Sets()%slices != 0 {
+		return nil, fmt.Errorf("hierarchy: %d sets do not divide into %d slices", cfg.Sets(), slices)
+	}
+	if hash == nil {
+		hash = DefaultSliceHash
+	}
+	scfg := cfg
+	scfg.SizeBytes = cfg.SizeBytes / slices
+	scfg.SetGroups, scfg.Clusters = 0, 0
+	s := &SlicedLLC{
+		cfg:      cfg,
+		hash:     hash,
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		slices:   make([]*cache.Cache, slices),
+		count:    make([]int, apps),
+	}
+	for i := range s.slices {
+		c, err := cache.New(scfg, cache.SharedLRU)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: slice %d: %w", i, err)
+		}
+		s.slices[i] = c
+	}
+	desired := make([]int, apps)
+	for i := range desired {
+		desired[i] = 1
+	}
+	if err := s.SetCounts(cache.QuantizePow2(desired, slices)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NumSlices returns the number of physical slices.
+func (s *SlicedLLC) NumSlices() int { return len(s.slices) }
+
+// Counts returns a copy of the per-application slice counts.
+func (s *SlicedLLC) Counts() []int { return append([]int(nil), s.count...) }
+
+// Starts returns a copy of the per-application slice range starts.
+func (s *SlicedLLC) Starts() []int { return append([]int(nil), s.start...) }
+
+// SetCounts installs new per-application slice counts. Each count must
+// be a positive power of two and the counts must sum to the slice
+// count; range starts are re-derived. Lines stranded in slices an
+// application no longer owns simply age out of their new owner's LRU —
+// the same semantics as a set-index repartition.
+func (s *SlicedLLC) SetCounts(counts []int) error {
+	if len(counts) != len(s.count) {
+		return fmt.Errorf("hierarchy: %d slice counts for %d applications", len(counts), len(s.count))
+	}
+	sum := 0
+	for i, c := range counts {
+		if c < 1 || bits.OnesCount(uint(c)) != 1 {
+			return fmt.Errorf("hierarchy: slice count %d for application %d is not a positive power of two", c, i)
+		}
+		sum += c
+	}
+	if sum != len(s.slices) {
+		return fmt.Errorf("hierarchy: slice counts sum to %d, want %d", sum, len(s.slices))
+	}
+	copy(s.count, counts)
+	s.start = cache.AlignedStarts(s.count)
+	return nil
+}
+
+// SliceFor returns the slice the given application's access to addr is
+// steered to.
+func (s *SlicedLLC) SliceFor(app int, addr uint64) int {
+	if app < 0 || app >= len(s.count) {
+		panic(fmt.Sprintf("hierarchy: application %d out of range [0,%d)", app, len(s.count)))
+	}
+	la := addr >> s.lineBits
+	return s.start[app] + int(s.hash(la)&uint64(s.count[app]-1))
+}
+
+// Access performs one access by application app's thread. The thread
+// index is global (the slices share the full LLC's thread space), so
+// per-thread statistics aggregate across slices without remapping.
+func (s *SlicedLLC) Access(app, thread int, addr uint64, write bool) cache.AccessResult {
+	return s.slices[s.SliceFor(app, addr)].Access(thread, addr, write)
+}
+
+// Stats aggregates per-thread counters across all slices.
+func (s *SlicedLLC) Stats() cache.Stats {
+	agg := cache.Stats{Threads: make([]cache.ThreadStats, s.cfg.NumThreads)}
+	for _, sl := range s.slices {
+		st := sl.Stats()
+		for t := range st.Threads {
+			a, b := &agg.Threads[t], st.Threads[t]
+			a.Accesses += b.Accesses
+			a.Hits += b.Hits
+			a.Misses += b.Misses
+			a.InterThreadHits += b.InterThreadHits
+			a.EvictionsCaused += b.EvictionsCaused
+			a.InterThreadEvictons += b.InterThreadEvictons
+			a.EvictionsSuffered += b.EvictionsSuffered
+		}
+	}
+	return agg
+}
+
+// SlicedState is a full snapshot of a sliced LLC: the inter-node
+// assignment plus every slice's contents. Range starts are derived
+// state and deliberately absent, like the placements inside
+// cache.State.
+type SlicedState struct {
+	Counts []int
+	Slices []cache.State
+}
+
+// State captures the sliced LLC's complete mutable state.
+func (s *SlicedLLC) State() SlicedState {
+	st := SlicedState{
+		Counts: append([]int(nil), s.count...),
+		Slices: make([]cache.State, len(s.slices)),
+	}
+	for i, sl := range s.slices {
+		st.Slices[i] = sl.State()
+	}
+	return st
+}
+
+// Restore overlays a snapshot onto a structurally identical sliced LLC.
+func (s *SlicedLLC) Restore(st SlicedState) error {
+	if len(st.Slices) != len(s.slices) {
+		return fmt.Errorf("hierarchy: restore has %d slices, want %d", len(st.Slices), len(s.slices))
+	}
+	if err := s.SetCounts(st.Counts); err != nil {
+		return fmt.Errorf("hierarchy: restore: %w", err)
+	}
+	for i, sl := range s.slices {
+		if err := sl.Restore(st.Slices[i]); err != nil {
+			return fmt.Errorf("hierarchy: restore slice %d: %w", i, err)
+		}
+	}
+	return nil
+}

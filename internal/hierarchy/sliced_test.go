@@ -1,0 +1,169 @@
+package hierarchy
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"intracache/internal/cache"
+	"intracache/internal/xrand"
+)
+
+// slicedCfg is the full-LLC geometry used across the slice tests:
+// 64 KiB, 4-way, 256 sets. Split 16 ways it yields 16-set slices.
+var slicedCfg = cache.Config{SizeBytes: 64 * 1024, Ways: 4, LineBytes: 64, NumThreads: 4}
+
+// TestSlicedLLCDegenerateSetIndex holds the sliced LLC equal,
+// access-for-access, to a single set-index-partitioned cache: 16
+// slices with the slice selector reading the group-index bits
+// (la >> log2(setsPerSlice)) is exactly a PartitionedSets cache with 16
+// set groups. Repartitions are mirrored by installing the big cache's
+// quantized targets as slice counts.
+func TestSlicedLLCDegenerateSetIndex(t *testing.T) {
+	cfg := slicedCfg
+	cfg.SetGroups = 16
+	big, err := cache.New(cfg, cache.PartitionedSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 sets / 16 groups = 16 sets per group: group index = la >> 4.
+	sl, err := NewSlicedLLC(slicedCfg, 16, 4, func(la uint64) uint64 { return la >> 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sl.Counts(), big.Targets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("initial slice counts %v != set-group targets %v", got, want)
+	}
+
+	retargets := [][]int{{8, 4, 2, 2}, {2, 2, 4, 8}, {4, 4, 4, 4}}
+	r := xrand.New(0xD15C)
+	for i := 0; i < 60000; i++ {
+		if i%15000 == 7500 {
+			req := retargets[i/15000%len(retargets)]
+			if err := big.SetTargets(req); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the *installed* (quantized) targets; starts then
+			// derive from the same AlignedStarts in both implementations.
+			if err := sl.SetCounts(big.Targets()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		th := r.Intn(4)
+		addr := uint64(r.Intn(1 << 18))
+		write := r.Intn(4) == 0
+		ra := big.Access(th, addr, write)
+		rb := sl.Access(th, th, addr, write)
+		if ra != rb {
+			t.Fatalf("access %d (thread %d, addr %#x): partitioned-sets %+v != sliced %+v", i, th, addr, ra, rb)
+		}
+	}
+	if a, b := big.Stats(), sl.Stats(); !reflect.DeepEqual(a, b) {
+		t.Errorf("aggregate stats diverged:\nsets:   %+v\nsliced: %+v", a.Totals(), b.Totals())
+	}
+}
+
+// TestSlicedLLCIsolation checks that with stable slice counts,
+// applications in disjoint slice ranges never interact — the inter-node
+// guarantee set-index partitioning is chosen for.
+func TestSlicedLLCIsolation(t *testing.T) {
+	sl, err := NewSlicedLLC(slicedCfg, 8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	for i := 0; i < 40000; i++ {
+		th := r.Intn(4)
+		// All applications hammer the same small address range.
+		sl.Access(th, th, uint64(r.Intn(1<<14)), r.Intn(4) == 0)
+	}
+	tot := sl.Stats().Totals()
+	if tot.InterThreadHits != 0 || tot.InterThreadEvictons != 0 {
+		t.Errorf("isolated applications interacted: %+v", tot)
+	}
+	if tot.Hits == 0 {
+		t.Error("no hits at all — workload too cold to test anything")
+	}
+}
+
+// TestSlicedLLCStateRoundTrip snapshots a sliced LLC mid-run, restores
+// it into a fresh instance through gob, and requires the two to stay
+// bit-identical over further accesses and a repartition.
+func TestSlicedLLCStateRoundTrip(t *testing.T) {
+	build := func() *SlicedLLC {
+		sl, err := NewSlicedLLC(slicedCfg, 16, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sl
+	}
+	orig := build()
+	r := xrand.New(0x51ED)
+	for i := 0; i < 30000; i++ {
+		orig.Access(r.Intn(4), r.Intn(4), uint64(r.Intn(1<<18)), r.Intn(4) == 0)
+	}
+	if err := orig.SetCounts([]int{8, 4, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig.State()); err != nil {
+		t.Fatal(err)
+	}
+	var st SlicedState
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	restored := build()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Counts(), orig.Counts()) {
+		t.Fatalf("restored counts %v != %v", restored.Counts(), orig.Counts())
+	}
+
+	for i := 0; i < 10000; i++ {
+		app, th := r.Intn(4), r.Intn(4)
+		addr := uint64(r.Intn(1 << 18))
+		write := r.Intn(4) == 0
+		ra := orig.Access(app, th, addr, write)
+		rb := restored.Access(app, th, addr, write)
+		if ra != rb {
+			t.Fatalf("post-restore access %d diverged: %+v != %+v", i, ra, rb)
+		}
+	}
+	if !reflect.DeepEqual(orig.State(), restored.State()) {
+		t.Error("final states diverged after restore")
+	}
+}
+
+// TestSlicedLLCValidation covers construction and repartition rejects.
+func TestSlicedLLCValidation(t *testing.T) {
+	if _, err := NewSlicedLLC(slicedCfg, 3, 2, nil); err == nil {
+		t.Error("non-power-of-two slice count accepted")
+	}
+	if _, err := NewSlicedLLC(slicedCfg, 4, 5, nil); err == nil {
+		t.Error("more applications than slices accepted")
+	}
+	if _, err := NewSlicedLLC(slicedCfg, 512, 2, nil); err == nil {
+		t.Error("more slices than sets accepted")
+	}
+	sl, err := NewSlicedLLC(slicedCfg, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, counts := range map[string][]int{
+		"wrong length": {4, 2, 2},
+		"not pow2":     {5, 3},
+		"wrong sum":    {2, 2},
+		"zero":         {0, 8},
+	} {
+		if err := sl.SetCounts(counts); err == nil {
+			t.Errorf("SetCounts(%s %v) accepted", name, counts)
+		}
+	}
+	if err := sl.Restore(SlicedState{Counts: []int{4, 4}}); err == nil {
+		t.Error("restore with missing slices accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/bits"
+	"testing"
+
+	"intracache/internal/cache"
+)
+
+// mechParams returns partitioned-L2 parameters running the given
+// mechanism, with a UMON attached so MissCurve is live.
+func mechParams(m cache.Mechanism) Params {
+	p := testParams(L2Partitioned)
+	p.Mechanism = m
+	p.UMONSampleStride = 2
+	return p
+}
+
+func TestMechanismParamsValidate(t *testing.T) {
+	for _, m := range cache.Mechanisms() {
+		p := mechParams(m)
+		if err := p.Validate(); err != nil {
+			t.Errorf("mechanism %s rejected: %v", m, err)
+		}
+	}
+	bad := mechParams(cache.Mechanism(7))
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	conflict := mechParams(cache.MechSets)
+	conflict.MaskPartitioning = true
+	if err := conflict.Validate(); err == nil {
+		t.Error("MechSets + MaskPartitioning accepted")
+	}
+	// Way masks remain valid under the default mechanism.
+	mask := mechParams(cache.MechWays)
+	mask.MaskPartitioning = true
+	if err := mask.Validate(); err != nil {
+		t.Errorf("MechWays + MaskPartitioning rejected: %v", err)
+	}
+}
+
+// TestMechanismSimQuanta checks the monitor surface the allocators see:
+// Ways() reports the mechanism's quantum count and MissCurve is
+// resampled onto it. The 64 KiB 16-way L2 has 64 sets, so set-index
+// partitioning defaults to 64 groups and clustering to 8 clusters.
+func TestMechanismSimQuanta(t *testing.T) {
+	for _, tc := range []struct {
+		mech   cache.Mechanism
+		quanta int
+	}{
+		{cache.MechWays, 16},
+		{cache.MechSets, 64},
+		{cache.MechCluster, 16 * 8},
+	} {
+		s, err := New(mechParams(tc.mech), makeGens(t, 23, []int{16, 64, 16, 16}), nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.mech, err)
+		}
+		if got := s.Ways(); got != tc.quanta {
+			t.Errorf("%s: Ways() = %d, want %d quanta", tc.mech, got, tc.quanta)
+		}
+		s.RunIntervals(2)
+		curve := s.MissCurve(1)
+		if len(curve) != tc.quanta+1 {
+			t.Errorf("%s: MissCurve has %d points, want %d", tc.mech, len(curve), tc.quanta+1)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1] {
+				t.Errorf("%s: resampled miss curve increases at %d", tc.mech, i)
+			}
+		}
+		tgt := s.Targets()
+		sum := 0
+		for _, v := range tgt {
+			sum += v
+		}
+		if sum != tc.quanta {
+			t.Errorf("%s: targets %v sum to %d, want %d", tc.mech, tgt, sum, tc.quanta)
+		}
+	}
+}
+
+// TestMechanismSetPartitionQuantizesTargets drives a controller that
+// requests a non-power-of-two split under set-index partitioning; the
+// simulator must install (and report) the quantized allocation, not the
+// request.
+func TestMechanismSetPartitionQuantizesTargets(t *testing.T) {
+	ctl := &fixedController{targets: []int{30, 14, 10, 10}} // sum 64, none pow2-feasible as given
+	s, err := New(mechParams(cache.MechSets), makeGens(t, 29, []int{16, 16, 16, 16}), ctl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunIntervals(3)
+	got := s.Targets()
+	sum := 0
+	for i, v := range got {
+		if v < 1 || bits.OnesCount(uint(v)) != 1 {
+			t.Errorf("installed target[%d] = %d is not a positive power of two", i, v)
+		}
+		sum += v
+	}
+	if sum != 64 {
+		t.Errorf("installed targets %v sum to %d, want 64", got, sum)
+	}
+	if got[0] <= got[1] {
+		t.Errorf("quantization lost the ordering of the request: %v", got)
+	}
+	// Interval stats must report the installed quanta, not the request.
+	if w := res.Intervals[1].Threads[0].WaysAssigned; w != got[0] {
+		t.Errorf("interval 1 thread 0 assigned %d quanta, want installed %d", w, got[0])
+	}
+}
+
+// TestMechanismSimResumeEveryInterval kills a partitioned run at every
+// interval boundary and resumes into a fresh simulator, for each
+// non-ways mechanism: the stitched run must end gob-byte-identical to
+// the uninterrupted one. This is the sim-layer half of the mechanism
+// crash-safety contract (the experiment layer covers journaled sweeps).
+func TestMechanismSimResumeEveryInterval(t *testing.T) {
+	encode := func(s *Simulator) []byte {
+		st, err := s.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, tc := range []struct {
+		mech    cache.Mechanism
+		targets []int
+	}{
+		{cache.MechSets, []int{32, 16, 8, 8}},
+		{cache.MechCluster, []int{50, 30, 30, 18}},
+	} {
+		build := func() *Simulator {
+			ctl := &fixedController{targets: tc.targets}
+			s, err := New(mechParams(tc.mech), makeGens(t, 31, []int{16, 32, 48, 64}), ctl, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		const intervals = 4
+		ref := build()
+		ref.RunIntervals(intervals)
+		want := encode(ref)
+
+		cur := build()
+		for done := 0; done < intervals; done++ {
+			st, err := cur.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			next := build()
+			if err := next.Restore(st); err != nil {
+				t.Fatalf("%s: resume before interval %d: %v", tc.mech, done+1, err)
+			}
+			cur = next
+			cur.RunIntervals(done + 1)
+		}
+		if !bytes.Equal(want, encode(cur)) {
+			t.Errorf("%s: resumed run diverged from uninterrupted run", tc.mech)
+		}
+	}
+}

@@ -114,6 +114,17 @@ type Params struct {
 	// ablation.
 	MaskPartitioning bool
 
+	// Mechanism selects the partitioning geometry of the L2Partitioned
+	// organization: way targets (cache.MechWays, the default), aligned
+	// set-group ranges (cache.MechSets), or per-cluster way targets
+	// (cache.MechCluster). Geometry knobs ride in L2.SetGroups and
+	// L2.Clusters. The allocator then runs over the mechanism's
+	// capacity quanta — Ways() reports the quantum count, and UMON
+	// curves are resampled onto it. Ignored by every other
+	// organization; incompatible with MaskPartitioning, which is itself
+	// a (way-granular) mechanism ablation.
+	Mechanism cache.Mechanism
+
 	// WritebackCycles, if nonzero, charges the missing thread for each
 	// dirty L2 line its fill displaces (the write-back occupies the
 	// memory channel the fill needs). Zero models an ideal write buffer
@@ -151,6 +162,14 @@ func (p Params) Validate() error {
 			return fmt.Errorf("sim: %d L2 ways not divisible by %d cores for private split",
 				p.L2.Ways, p.NumThreads)
 		}
+	}
+	switch p.Mechanism {
+	case cache.MechWays, cache.MechSets, cache.MechCluster:
+	default:
+		return fmt.Errorf("sim: unknown partitioning mechanism %d", int(p.Mechanism))
+	}
+	if p.Mechanism != cache.MechWays && p.MaskPartitioning {
+		return fmt.Errorf("sim: MaskPartitioning is a way-granular ablation, incompatible with -mechanism %s", p.Mechanism)
 	}
 	if p.BaseCycles == 0 {
 		return fmt.Errorf("sim: BaseCycles must be positive")
@@ -383,9 +402,16 @@ func New(p Params, gens []trace.Source, ctl Controller, phase PhaseFunc) (*Simul
 		}
 		s.l2 = l2
 	case L2Partitioned:
-		mode := cache.Partitioned
-		if p.MaskPartitioning {
+		var mode cache.Mode
+		switch {
+		case p.Mechanism == cache.MechSets:
+			mode = cache.PartitionedSets
+		case p.Mechanism == cache.MechCluster:
+			mode = cache.PartitionedCluster
+		case p.MaskPartitioning:
 			mode = cache.PartitionedMask
+		default:
+			mode = cache.Partitioned
 		}
 		l2, err := cache.New(p.L2, mode)
 		if err != nil {
@@ -457,16 +483,30 @@ func (s *Simulator) SetReferenceStepper(on bool) {
 // Params returns the simulator's parameters.
 func (s *Simulator) Params() Params { return s.p }
 
-// MissCurve implements Monitors.
+// MissCurve implements Monitors. The UMON samples way-granular stack
+// distances; when the L2's mechanism allocates a different number of
+// capacity quanta (set groups, cluster-ways), the curve is resampled
+// onto the quantum domain so allocators stay geometry-agnostic.
 func (s *Simulator) MissCurve(thread int) []uint64 {
 	if s.mon == nil {
 		return nil
 	}
-	return s.mon.MissCurve(thread)
+	curve := s.mon.MissCurve(thread)
+	if q := s.Ways(); q != s.p.L2.Ways {
+		curve = umon.CurveToQuanta(curve, q)
+	}
+	return curve
 }
 
-// Ways implements Monitors.
-func (s *Simulator) Ways() int { return s.p.L2.Ways }
+// Ways implements Monitors. For the partitioned organization this is
+// the L2 mechanism's capacity-quantum count — equal to the physical
+// way count only under way partitioning.
+func (s *Simulator) Ways() int {
+	if s.p.L2Org == L2Partitioned && s.l2 != nil {
+		return s.l2.Quanta()
+	}
+	return s.p.L2.Ways
+}
 
 // NumThreads implements Monitors.
 func (s *Simulator) NumThreads() int { return s.p.NumThreads }
@@ -878,7 +918,10 @@ func (s *Simulator) endInterval() {
 			if err := s.l2.SetTargets(targets); err != nil {
 				panic(fmt.Sprintf("sim: controller targets rejected: %v", err))
 			}
-			copy(s.curTargets, targets)
+			// Record the *installed* targets: mechanisms with coarser
+			// feasible allocations (set-index partitioning rounds to
+			// powers of two) may quantize the request.
+			copy(s.curTargets, s.l2.Targets())
 		}
 	}
 	if s.mon != nil {

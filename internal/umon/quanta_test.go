@@ -1,0 +1,54 @@
+package umon
+
+import (
+	"reflect"
+	"testing"
+
+	"intracache/internal/xrand"
+)
+
+// TestMechanismCurveToQuanta covers the capacity-quantum resampling
+// that bridges the way-granular monitor to the other partitioning
+// geometries: endpoints pinned, identity at Q == W, monotonicity
+// preserved both up- and down-sampling, and exact linear values on a
+// hand-checked curve.
+func TestMechanismCurveToQuanta(t *testing.T) {
+	curve := []uint64{100, 60, 30, 10, 0} // W = 4
+	if got := CurveToQuanta(curve, 4); !reflect.DeepEqual(got, curve) {
+		t.Errorf("identity resample changed the curve: %v", got)
+	}
+	// Q = 8: quantum q is q/2 ways; odd q interpolates halfway.
+	want := []uint64{100, 80, 60, 45, 30, 20, 10, 5, 0}
+	if got := CurveToQuanta(curve, 8); !reflect.DeepEqual(got, want) {
+		t.Errorf("upsample = %v, want %v", got, want)
+	}
+	// Q = 2: quantum q is 2q ways.
+	if got := CurveToQuanta(curve, 2); !reflect.DeepEqual(got, []uint64{100, 30, 0}) {
+		t.Errorf("downsample = %v", got)
+	}
+
+	r := xrand.New(11)
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + r.Intn(64)
+		c := make([]uint64, w+1)
+		v := uint64(r.Intn(1 << 20))
+		for i := range c {
+			c[i] = v
+			v -= uint64(r.Intn(int(v/uint64(w+1)) + 1))
+		}
+		for _, q := range []int{1, 2, w, 2 * w, 64, 512} {
+			got := CurveToQuanta(c, q)
+			if len(got) != q+1 {
+				t.Fatalf("W=%d Q=%d: length %d", w, q, len(got))
+			}
+			if got[0] != c[0] || got[q] != c[w] {
+				t.Fatalf("W=%d Q=%d: endpoints %d..%d, want %d..%d", w, q, got[0], got[q], c[0], c[w])
+			}
+			for i := 1; i <= q; i++ {
+				if got[i] > got[i-1] {
+					t.Fatalf("W=%d Q=%d: curve increases at %d: %d > %d", w, q, i, got[i], got[i-1])
+				}
+			}
+		}
+	}
+}
