@@ -9,6 +9,7 @@ package intracache
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"intracache/internal/service"
@@ -70,6 +71,65 @@ func BenchmarkServiceIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceIngestSharded measures the same wire-to-queue path
+// through the 4-shard front door: FNV shard routing plus the per-shard
+// lock. Single-threaded this prices the routing overhead against
+// BenchmarkServiceIngest; under -cpu N the RunParallel variant below
+// shows the contention win.
+func BenchmarkServiceIngestSharded(b *testing.B) {
+	sh := service.NewSharded(service.Options{QueueCap: 256, MaxSamplesPerTick: 64}, 4, 0)
+	payload, err := service.SealJSON(benchServiceBatch("bench-app", 4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch service.Batch
+		if err := service.UnsealJSON(payload, &batch); err != nil {
+			b.Fatal(err)
+		}
+		if rep := sh.Ingest(batch); rep.Rejected != "" {
+			b.Fatalf("rejected: %+v", rep)
+		}
+		if i%16 == 15 {
+			b.StopTimer()
+			sh.Tick(0)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkServiceIngestShardedParallel drives concurrent producers
+// (one app per goroutine, like real agents) into the 4-shard service;
+// with one lock per shard, producers on different shards no longer
+// serialize. Run with -cpu 1,2,4 to see the scaling; the analogous
+// single-lock service flatlines. Queues are bounded, so steady state
+// is the drop-oldest regime — the same O(1) enqueue either way, which
+// keeps the shard-count comparison fair and the memory flat.
+func BenchmarkServiceIngestShardedParallel(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sh := service.NewSharded(service.Options{QueueCap: 256, MaxSamplesPerTick: 64}, shards, 0)
+			var next int32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := atomic.AddInt32(&next, 1)
+				app := fmt.Sprintf("agent-%03d", id)
+				base := uint64(id) * 1_000_003
+				i := uint64(0)
+				for pb.Next() {
+					i++
+					if rep := sh.Ingest(benchServiceBatch(app, 4, base+i*37)); rep.Rejected != "" {
+						b.Fatalf("rejected: %+v", rep)
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkServiceDecisionTick measures one decision round over 64
 // populated sessions — the latency the daemon's per-tick SLO bounds.
 // Reported ns/op is the full tick; divide by 64 for per-session cost.
@@ -94,5 +154,31 @@ func BenchmarkServiceDecisionTick(b *testing.B) {
 		}
 		b.StartTimer()
 		svc.Tick(0)
+	}
+}
+
+// BenchmarkServiceTickSharded measures one decision round over 256
+// populated sessions hashed across 4 shards, ticked by the worker
+// pool. Workers default to min(GOMAXPROCS, shards), so -cpu 1,2,4
+// sweeps the pool size: at -cpu 1 the reported ns/op prices the
+// fan-out overhead against BenchmarkServiceDecisionTick; at -cpu 4
+// the four shards decide concurrently.
+func BenchmarkServiceTickSharded(b *testing.B) {
+	const sessions = 256
+	sh := service.NewSharded(service.Options{QueueCap: 64, MaxSamplesPerTick: 2}, 4, 0)
+	refill := func(round int) {
+		for s := 0; s < sessions; s++ {
+			sh.Ingest(benchServiceBatch(fmt.Sprintf("app-%03d", s), 2, uint64(round*sessions+s)))
+		}
+	}
+	refill(0)
+	sh.Tick(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		refill(i + 1)
+		b.StartTimer()
+		sh.Tick(0)
 	}
 }

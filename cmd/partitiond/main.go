@@ -11,9 +11,17 @@
 //
 //	partitiond -listen :9444                        # serve
 //	partitiond -listen :9444 -checkpoint p.ckpt     # crash-safe serve
+//	partitiond -listen :9444 -shards 8              # 8 parallel tick domains
 //	partitiond -selftest -apps 1000                 # load/soak harness
 //
-// Serving endpoints: POST /ingest, GET /alloc?app=, GET /stats,
+// -shards N hashes applications over N independent tick/checkpoint
+// domains ticked concurrently by -tick-workers workers; per-session
+// decisions are bit-identical to -shards 1 (the selftest verifies it).
+// Checkpoints become one manifest plus one file per shard, and a
+// manifest only restores at the shard count that wrote it.
+//
+// Serving endpoints: POST /ingest, GET /alloc?app= (add &watch=1&epoch=N
+// to long-poll for the next allocation change), GET /stats,
 // GET /healthz, GET /readyz. SIGINT/SIGTERM starts a drain: /healthz
 // flips to 503 "draining", new batches are rejected, in-flight
 // requests finish, queued samples get a final decision tick, state is
@@ -65,6 +73,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-tick decision budget; past it, remaining sessions get last-good (0 = unbounded)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written on drain and every -checkpoint-every ticks")
 	ckptEvery := flag.Int("checkpoint-every", 60, "checkpoint every N ticks when -checkpoint is set (0 = only on drain)")
+	shards := flag.Int("shards", 1, "independent tick/checkpoint domains; apps are hashed to shards, so a checkpoint only restores at the shard count that wrote it")
+	tickWorkers := flag.Int("tick-workers", 0, "concurrent shard tick workers (0 = min(shards, GOMAXPROCS))")
 
 	selftest := flag.Bool("selftest", false, "run the deterministic load harness instead of serving")
 	apps := flag.Int("apps", 1000, "selftest: concurrent simulated applications")
@@ -98,6 +108,7 @@ func main() {
 			opts: opts, apps: *apps, steps: *steps, threads: *threads, ways: *ways,
 			seed: *seed, deadline: *deadline, sloP99: *sloP99, killStep: *killStep,
 			burstEvery: *burstEvery, asJSON: *asJSON, outPath: *outPath,
+			shards: *shards, tickWorkers: *tickWorkers,
 			plan: fault.Plan{
 				CPINoise:  *faultCPINoise,
 				DropRate:  *faultDrop,
@@ -106,15 +117,20 @@ func main() {
 			faultFraction: *faultFraction,
 		}))
 	}
-	os.Exit(serve(*listen, opts, *tick, *deadline, *ckptPath, *ckptEvery, nil))
+	os.Exit(serve(*listen, opts, *shards, *tickWorkers, *tick, *deadline, *ckptPath, *ckptEvery, nil))
 }
 
 // serve runs the daemon until a signal drains it. Returns the exit
 // code. bound, when non-nil, receives the actual listen address once
 // the socket is open (tests bind port 0).
-func serve(listen string, opts service.Options, tick, deadline time.Duration,
+//
+// The daemon always runs the sharded backend; -shards 1 is one domain
+// and restores pre-shard checkpoints unchanged, while -shards N>1
+// writes per-shard checkpoint files under one manifest and restores
+// them concurrently (a manifest from a different -shards is refused).
+func serve(listen string, opts service.Options, shards, tickWorkers int, tick, deadline time.Duration,
 	ckptPath string, ckptEvery int, bound chan<- string) int {
-	svc := service.New(opts)
+	svc := service.NewSharded(opts, shards, tickWorkers)
 	if ckptPath != "" {
 		if _, err := os.Stat(ckptPath); err == nil {
 			if err := svc.LoadCheckpoint(ckptPath); err != nil {
@@ -171,7 +187,8 @@ func serve(listen string, opts service.Options, tick, deadline time.Duration,
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	handler.SetReady(true)
-	fmt.Fprintf(os.Stderr, "partitiond: listening on %s (tick %v, deadline %v)\n", ln.Addr(), tick, deadline)
+	fmt.Fprintf(os.Stderr, "partitiond: listening on %s (tick %v, deadline %v, %d shards)\n",
+		ln.Addr(), tick, deadline, svc.NumShards())
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -231,6 +248,8 @@ type selftestConfig struct {
 	deadline      time.Duration
 	sloP99        time.Duration
 	killStep      int
+	shards        int
+	tickWorkers   int
 	asJSON        bool
 	outPath       string
 }
@@ -242,6 +261,11 @@ type selftestReport struct {
 	SLOBreached     bool
 	RestartVerified bool
 	RestartDiverged bool
+	// ShardsVerified/ShardsDiverged report the -shards N>1 differential:
+	// every app's decision stream compared against an unsharded run of
+	// the same fleet.
+	ShardsVerified bool
+	ShardsDiverged bool
 }
 
 // runSelftest executes the load harness and grades the run. Returns
@@ -257,9 +281,11 @@ func runSelftest(c selftestConfig) int {
 			FaultFraction: c.faultFraction,
 			BurstEvery:    c.burstEvery,
 		},
-		Service:  c.opts,
-		Steps:    c.steps,
-		Deadline: c.deadline,
+		Service:     c.opts,
+		Steps:       c.steps,
+		Deadline:    c.deadline,
+		Shards:      c.shards,
+		TickWorkers: c.tickWorkers,
 	}
 	rep, decisions, err := loadgen.Run(hc)
 	if err != nil {
@@ -267,6 +293,32 @@ func runSelftest(c selftestConfig) int {
 		return exitHard
 	}
 	out := selftestReport{Report: rep, SLOP99: c.sloP99}
+
+	if c.shards > 1 && c.deadline == 0 {
+		// Shard differential: the same fleet against the unsharded
+		// service must yield byte-identical per-app decision streams
+		// (the global interleaving legitimately differs, so the compare
+		// is per app).
+		uhc := hc
+		uhc.Shards, uhc.TickWorkers = 0, 0
+		_, udecisions, err := loadgen.Run(uhc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "partitiond: selftest (unsharded differential):", err)
+			return exitHard
+		}
+		out.ShardsVerified = true
+		byS, byU := loadgen.DecisionsByApp(decisions), loadgen.DecisionsByApp(udecisions)
+		if len(byS) != len(byU) {
+			out.ShardsDiverged = true
+		}
+		for app, ds := range byS {
+			if !service.DecisionsEqual(ds, byU[app]) {
+				out.ShardsDiverged = true
+				fmt.Fprintf(os.Stderr, "partitiond: selftest: app %s diverged between -shards %d and unsharded\n", app, c.shards)
+				break
+			}
+		}
+	}
 
 	if c.killStep > 0 {
 		// The differential needs an exact decision comparison, which the
@@ -319,6 +371,9 @@ func runSelftest(c selftestConfig) int {
 	case out.RestartDiverged:
 		fmt.Fprintln(os.Stderr, "partitiond: selftest: post-restart decisions diverged from the unkilled run")
 		return exitDegraded
+	case out.ShardsDiverged:
+		fmt.Fprintln(os.Stderr, "partitiond: selftest: sharded decisions diverged from the unsharded run")
+		return exitDegraded
 	}
 	return exitOK
 }
@@ -349,6 +404,13 @@ func printSelftest(out selftestReport) {
 			verdict = "DIVERGED from unkilled run"
 		}
 		t.AddRow("kill/restart decisions", verdict)
+	}
+	if out.ShardsVerified {
+		verdict := "identical to unsharded run"
+		if out.ShardsDiverged {
+			verdict = "DIVERGED from unsharded run"
+		}
+		t.AddRow("sharded decisions", verdict)
 	}
 	fmt.Print(t.String())
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -58,7 +59,7 @@ func TestServeDrainAndRestart(t *testing.T) {
 		bound := make(chan string, 1)
 		exit := make(chan int, 1)
 		go func() {
-			exit <- serve("127.0.0.1:0", service.Options{}, 20*time.Millisecond, 0, ckpt, 0, bound)
+			exit <- serve("127.0.0.1:0", service.Options{}, 1, 0, 20*time.Millisecond, 0, ckpt, 0, bound)
 		}()
 		base := "http://" + <-bound
 		if ingest {
@@ -116,6 +117,98 @@ func TestServeDrainAndRestart(t *testing.T) {
 	}
 	if code := run(false); code != exitOK {
 		t.Fatalf("restarted daemon exit=%d, want %d", code, exitOK)
+	}
+}
+
+// TestServeShardedDrainAndRestart runs the daemon at -shards 4: ingest
+// over HTTP routes to the owning shard, a watch long-poll is answered
+// by the ticker's next decision, SIGTERM drains into per-shard
+// checkpoint files under one manifest, and a restarted daemon at the
+// same shard count restores the session.
+func TestServeShardedDrainAndRestart(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "pd.ckpt")
+	run := func(ingest bool) int {
+		bound := make(chan string, 1)
+		exit := make(chan int, 1)
+		go func() {
+			exit <- serve("127.0.0.1:0", service.Options{}, 4, 2, 20*time.Millisecond, 0, ckpt, 0, bound)
+		}()
+		base := "http://" + <-bound
+		if ingest {
+			if rep := postBatch(t, base, smokeBatch("web-01", 1)); rep.Accepted != 4 {
+				t.Fatalf("ingest: %+v", rep)
+			}
+			// The push path against the live ticker: epoch 1 is the
+			// creation state, so the first decision answers the watch.
+			resp, err := http.Get(base + "/alloc?app=web-01&watch=1&epoch=1&timeout=5s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("watch against live daemon: %d", resp.StatusCode)
+			}
+		} else {
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				resp, err := http.Get(base + "/alloc?app=web-01")
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+					t.Fatalf("restored daemon: /alloc -> %d", resp.StatusCode)
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("restored daemon never answered /alloc")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-exit:
+			return code
+		case <-time.After(10 * time.Second):
+			t.Fatal("sharded daemon did not drain within 10s of SIGTERM")
+			return -1
+		}
+	}
+
+	if code := run(true); code != exitOK {
+		t.Fatalf("first sharded daemon exit=%d, want %d", code, exitOK)
+	}
+	// The drain must have written the manifest plus the owning shard's
+	// file; a wrong-count restart must be refused.
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("drain wrote no manifest: %v", err)
+	}
+	own := service.ShardIndex("web-01", 4)
+	if _, err := os.Stat(fmt.Sprintf("%s.shard%d", ckpt, own)); err != nil {
+		t.Fatalf("drain wrote no shard file for the session's shard: %v", err)
+	}
+	wrong := service.NewSharded(service.Options{}, 2, 1)
+	if err := wrong.LoadCheckpoint(ckpt); err == nil {
+		t.Fatal("2-shard restore of the 4-shard daemon checkpoint succeeded")
+	}
+	if code := run(false); code != exitOK {
+		t.Fatalf("restarted sharded daemon exit=%d, want %d", code, exitOK)
+	}
+}
+
+// TestSelftestSharded pins the -shards selftest path: the sharded run
+// passes its own SLO and the built-in differential against the
+// unsharded service (exit 0); the kill/restart differential runs
+// sharded too.
+func TestSelftestSharded(t *testing.T) {
+	c := selftestConfig{
+		opts: service.Options{}, apps: 40, steps: 4, threads: 2, ways: 8,
+		seed: 7, sloP99: time.Minute, killStep: 2, shards: 4, tickWorkers: 2,
+	}
+	if code := runSelftest(c); code != exitOK {
+		t.Fatalf("sharded selftest exit=%d, want %d", code, exitOK)
 	}
 }
 

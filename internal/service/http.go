@@ -1,11 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"intracache/internal/checkpoint"
 )
@@ -39,10 +43,13 @@ func UnsealJSON(data []byte, v interface{}) error {
 // stops a confused client from ballooning the daemon's memory.
 const maxBodyBytes = 8 << 20
 
-// Server exposes a Service over HTTP:
+// Server exposes a Backend (the single-lock Service or the Sharded
+// fan-out — the handlers cannot tell) over HTTP:
 //
 //	POST /ingest   sealed JSON Batch → sealed JSON IngestReply
 //	GET  /alloc    ?app= → JSON Allocation
+//	GET  /alloc    ?app=&watch=1&epoch=N → long-poll: JSON Allocation
+//	               once the session's epoch exceeds N, 204 on timeout
 //	GET  /stats    → JSON Stats (with latency percentiles)
 //	GET  /healthz  → 200 "ok" | 503 "draining"
 //	GET  /readyz   → 200 "ready" | 503 "draining" / "starting"
@@ -50,15 +57,21 @@ const maxBodyBytes = 8 << 20
 // Status codes map rejection kinds: 503 draining, 400 malformed or
 // shape-mismatch, 429 session-limit; an accepted batch (even one that
 // dropped older samples) is 200 with the reply detailing the drops.
+//
+// The watch form is the push path: a client holds one idle request
+// open instead of polling, passes back the Epoch from each response,
+// and is answered the moment a decision actually changes its
+// allocation or rung. A 204 means "no change within the poll window;
+// ask again with the same epoch".
 type Server struct {
-	svc   *Service
+	svc   Backend
 	mux   *http.ServeMux
 	ready atomic.Bool
 }
 
 // NewServer wraps svc. The server starts not-ready; the owner calls
 // SetReady(true) once listeners and tickers are up.
-func NewServer(svc *Service) (*Server, error) {
+func NewServer(svc Backend) (*Server, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("service: nil service")
 	}
@@ -125,22 +138,74 @@ func writeSealed(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(data)
 }
 
+// Watch long-poll bounds: a request may ask for a shorter window via
+// ?timeout=, but never a longer one — the cap keeps a drain from
+// waiting a full minute on parked watchers.
+const (
+	defaultWatchWait = 30 * time.Second
+	maxWatchWait     = 60 * time.Second
+)
+
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	app := r.URL.Query().Get("app")
+	q := r.URL.Query()
+	app := q.Get("app")
 	if app == "" {
 		http.Error(w, "missing app parameter", http.StatusBadRequest)
 		return
 	}
-	alloc, ok := s.svc.Allocation(app)
-	if !ok {
-		http.Error(w, "unknown application", http.StatusNotFound)
+	if q.Get("watch") == "" {
+		alloc, ok := s.svc.Allocation(app)
+		if !ok {
+			http.Error(w, "unknown application", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, alloc)
 		return
 	}
-	writeJSON(w, alloc)
+
+	// Long-poll: answer as soon as the session's epoch exceeds ?epoch=
+	// (0 when absent: return the current allocation immediately).
+	since, err := parseEpoch(q.Get("epoch"))
+	if err != nil {
+		http.Error(w, "bad epoch parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	wait := defaultWatchWait
+	if tv := q.Get("timeout"); tv != "" {
+		d, err := time.ParseDuration(tv)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout parameter", http.StatusBadRequest)
+			return
+		}
+		wait = d
+	}
+	if wait > maxWatchWait {
+		wait = maxWatchWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	alloc, werr := s.svc.AllocationWatch(ctx, app, since)
+	switch {
+	case werr == nil:
+		writeJSON(w, alloc)
+	case errors.Is(werr, ErrUnknownApp):
+		http.Error(w, "unknown application", http.StatusNotFound)
+	default:
+		// Poll window expired (or the client went away) with no change:
+		// 204 tells the client to re-poll with the same epoch.
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func parseEpoch(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

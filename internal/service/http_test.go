@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *Service, *httptest.Server) {
@@ -133,6 +134,113 @@ func TestHTTPHealthAndReadyProbes(t *testing.T) {
 	}
 	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("draining")) {
 		t.Fatalf("readyz while draining: %d %q", code, body)
+	}
+}
+
+// TestHTTPAllocWatch pins the push path end to end: immediate answer
+// for a stale epoch, 204 on poll-window expiry, wake-up on the next
+// decision that changes the allocation, 404 for unknown apps, and 400
+// for a garbage epoch.
+func TestHTTPAllocWatch(t *testing.T) {
+	_, svc, hs := newTestServer(t, Options{})
+	postIngest(t, hs.URL, mkBatch("web-01", 4, 16, 2, 7))
+
+	get := func(url string) (int, Allocation) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var alloc Allocation
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&alloc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, alloc
+	}
+
+	// Stale epoch: immediate 200 with the creation-epoch allocation.
+	code, alloc := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=0")
+	if code != http.StatusOK || alloc.Epoch != 1 {
+		t.Fatalf("stale-epoch watch: %d %+v", code, alloc)
+	}
+
+	// Current epoch + short window, no decisions: 204, re-poll signal.
+	if code, _ := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=1&timeout=50ms"); code != http.StatusNoContent {
+		t.Fatalf("expired watch: code=%d, want 204", code)
+	}
+
+	// Parked watcher answered by the next tick's allocation change.
+	type res struct {
+		code  int
+		alloc Allocation
+	}
+	got := make(chan res, 1)
+	go func() {
+		c, a := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=1&timeout=5s")
+		got <- res{c, a}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the watcher park
+	svc.Tick(0)
+	select {
+	case r := <-got:
+		if r.code != http.StatusOK || r.alloc.Epoch < 2 {
+			t.Fatalf("woken watch: %d %+v", r.code, r.alloc)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("HTTP watcher never woke after a decision")
+	}
+
+	if code, _ := get(hs.URL + "/alloc?app=ghost&watch=1&epoch=0"); code != http.StatusNotFound {
+		t.Fatalf("unknown app watch: code=%d, want 404", code)
+	}
+	if code, _ := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad epoch: code=%d, want 400", code)
+	}
+	if code, _ := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=1&timeout=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad timeout: code=%d, want 400", code)
+	}
+}
+
+// TestHTTPServerOverSharded smokes the same handlers over the sharded
+// backend — the HTTP layer is shard-blind by construction.
+func TestHTTPServerOverSharded(t *testing.T) {
+	sh := NewSharded(Options{}, 4, 2)
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	if code, reply := postIngest(t, hs.URL, mkBatch("web-01", 4, 16, 3, 7)); code != http.StatusOK || reply.Accepted != 3 {
+		t.Fatalf("sharded ingest: code=%d reply=%+v", code, reply)
+	}
+	sh.Tick(0)
+	resp, err := http.Get(hs.URL + "/alloc?app=web-01&watch=1&epoch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var alloc Allocation
+	if err := json.NewDecoder(resp.Body).Decode(&alloc); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.App != "web-01" || alloc.Epoch < 2 {
+		t.Fatalf("sharded watch alloc: %+v", alloc)
+	}
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Decisions != 1 {
+		t.Fatalf("sharded stats over HTTP: %+v", st)
 	}
 }
 

@@ -24,6 +24,22 @@ type HarnessConfig struct {
 	// from the file before continuing — the kill/restart differential.
 	KillAtStep     int
 	CheckpointPath string
+	// Shards > 1 runs the fleet against a service.Sharded with that
+	// many tick domains (and per-shard checkpoints through the manifest
+	// when KillAtStep fires); 0 or 1 is the plain single-lock Service.
+	// Per-session decisions are byte-identical either way — that
+	// equivalence is exactly what the sharded soak pins.
+	Shards int
+	// TickWorkers is the sharded tick worker-pool size (0 = automatic).
+	TickWorkers int
+}
+
+// newBackend builds the service under test for one harness run.
+func newBackend(hc HarnessConfig) service.Backend {
+	if hc.Shards > 1 {
+		return service.NewSharded(hc.Service, hc.Shards, hc.TickWorkers)
+	}
+	return service.New(hc.Service)
 }
 
 // Report summarizes one harness run.
@@ -66,7 +82,7 @@ func Run(hc HarnessConfig) (Report, []service.Decision, error) {
 	if err != nil {
 		return Report{}, nil, err
 	}
-	svc := service.New(hc.Service)
+	svc := newBackend(hc)
 
 	rep := Report{Apps: len(fleet.Apps), Rungs: make(map[string]int)}
 	var decisions []service.Decision
@@ -87,7 +103,7 @@ func Run(hc HarnessConfig) (Report, []service.Decision, error) {
 			if err := svc.SaveCheckpoint(hc.CheckpointPath); err != nil {
 				return Report{}, nil, err
 			}
-			svc = service.New(hc.Service)
+			svc = newBackend(hc)
 			if err := svc.LoadCheckpoint(hc.CheckpointPath); err != nil {
 				return Report{}, nil, err
 			}

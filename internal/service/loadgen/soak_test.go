@@ -150,6 +150,102 @@ func TestServiceSoak(t *testing.T) {
 	}
 }
 
+// TestServiceSoakSharded is the sharding acceptance pin: the same
+// fleet (faults, bursts and all) against a 4-shard service with
+// concurrent tick workers must yield, for every application, a
+// decision stream byte-identical to both a 1-shard run and the plain
+// unsharded service — including across a mid-soak kill/restart from
+// per-shard checkpoints. Streams are compared per app because the
+// global interleaving is the one thing sharding legitimately changes.
+func TestServiceSoakSharded(t *testing.T) {
+	apps, steps := 1000, 24
+	if testing.Short() {
+		apps, steps = 200, 12
+	}
+	load := Config{
+		Apps:      apps,
+		Threads:   4,
+		Ways:      16,
+		BatchSize: 2,
+		Seed:      20260808,
+		Fault: fault.Plan{
+			CPINoise:  0.5,
+			DropRate:  0.2,
+			StuckRate: 0.3,
+		},
+		FaultFraction: 0.25,
+		BurstEvery:    10,
+		BurstFactor:   10,
+	}
+	svcOpts := service.Options{
+		QueueCap:          16,
+		MaxSamplesPerTick: 4,
+		PressureHighWater: 10,
+	}
+
+	var lastRep Report
+	run := func(shards, workers, killAt int) []service.Decision {
+		t.Helper()
+		hc := HarnessConfig{Load: load, Service: svcOpts, Steps: steps,
+			Shards: shards, TickWorkers: workers}
+		if killAt > 0 {
+			hc.KillAtStep = killAt
+			hc.CheckpointPath = filepath.Join(t.TempDir(), "sharded-soak.ckpt")
+		}
+		rep, ds, err := Run(hc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if killAt > 0 && !rep.Restarted {
+			t.Fatal("kill/restart run never restarted")
+		}
+		lastRep = rep
+		return ds
+	}
+	compare := func(label string, a, b []service.Decision) {
+		t.Helper()
+		byA, byB := DecisionsByApp(a), DecisionsByApp(b)
+		if len(byA) != len(byB) {
+			t.Fatalf("%s: %d apps vs %d", label, len(byA), len(byB))
+		}
+		for app, da := range byA {
+			if !service.DecisionsEqual(da, byB[app]) {
+				i := firstDivergence(da, byB[app])
+				t.Fatalf("%s: app %s diverged at index %d:\nA: %+v\nB: %+v",
+					label, app, i, at(da, i), at(byB[app], i))
+			}
+		}
+	}
+
+	unsharded := run(0, 0, 0)
+	oneShard := run(1, 1, 0)
+	fourShard := run(4, 4, 0)
+	compare("shards=1 vs unsharded", oneShard, unsharded)
+	compare("shards=4 vs shards=1", fourShard, oneShard)
+
+	// The 4-shard run must still exercise the degradation machinery,
+	// not dodge it by spreading load thin (per-shard queues shrink, but
+	// the per-session bounds that trip the taxonomy are unchanged).
+	st := lastRep.Stats
+	if st.Sessions != apps {
+		t.Fatalf("sharded sessions=%d, want %d", st.Sessions, apps)
+	}
+	if st.DroppedOldest == 0 || st.DroppedPressure == 0 || st.LastGoodPressure == 0 {
+		t.Errorf("sharded run never hit backpressure: %+v", st)
+	}
+	if st.RungProportional+st.RungStatic == 0 || st.EngineDemotions == 0 {
+		t.Errorf("sharded run never demoted an engine: %+v", st)
+	}
+
+	// Kill/restart at 4 shards: restored from per-shard checkpoints
+	// under one manifest, the remaining schedule must continue the
+	// per-app streams bit-identically — the acceptance differential.
+	killed := run(4, 4, steps/2)
+	compare("shards=4 killed/restarted vs shards=1", killed, oneShard)
+	t.Logf("sharded soak: %d apps × %d steps pinned identical across shards ∈ {1,4} and kill/restart; taxonomy %+v",
+		apps, steps, st)
+}
+
 func firstDivergence(a, b []service.Decision) int {
 	n := len(a)
 	if len(b) < n {

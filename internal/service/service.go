@@ -38,9 +38,12 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intracache/internal/core"
@@ -111,6 +114,12 @@ type Decision struct {
 	// "model", "proportional", "static" (the engine chain) or
 	// "last-good" (the service rung).
 	Rung string
+	// Epoch is the session's allocation epoch after the decision. It
+	// bumps only when the decision actually changed something a client
+	// can observe (the allocation or the rung), so it is what /alloc
+	// watchers long-poll on — and, being a pure function of the decision
+	// history, it is pinned by the same differentials as the rest.
+	Epoch uint64
 	// Latency is the measured wall-clock cost of this session's
 	// decision work. It is measurement, not state: two otherwise
 	// identical runs differ here, which is why DecisionsEqual ignores
@@ -128,7 +137,8 @@ func DecisionsEqual(a, b []Decision) bool {
 	for i := range a {
 		x, y := a[i], b[i]
 		if x.App != y.App || x.Tick != y.Tick || x.Interval != y.Interval ||
-			x.Samples != y.Samples || x.Rung != y.Rung || len(x.Alloc) != len(y.Alloc) {
+			x.Samples != y.Samples || x.Rung != y.Rung || x.Epoch != y.Epoch ||
+			len(x.Alloc) != len(y.Alloc) {
 			return false
 		}
 		for j := range x.Alloc {
@@ -270,9 +280,38 @@ type session struct {
 	lastRung string
 	lastTick uint64
 
+	// epoch counts observable allocation changes: it starts at 1 (the
+	// initial equal split is observable state) and bumps only when a
+	// decision changes the allocation or the rung. watch is closed and
+	// replaced on every bump; AllocationWatch long-polls on it.
+	epoch uint64
+	watch chan struct{}
+
 	droppedOldest   uint64
 	droppedPressure uint64
 	mismatches      uint64
+}
+
+// bumpEpoch advances the session's allocation epoch and wakes every
+// watcher. Caller holds the service lock.
+func (sess *session) bumpEpoch() {
+	sess.epoch++
+	close(sess.watch)
+	sess.watch = make(chan struct{})
+}
+
+// allocChanged reports whether the session's current allocation or rung
+// differs from the given pre-decision snapshot.
+func (sess *session) allocChanged(oldRung string, oldAlloc []int) bool {
+	if sess.lastRung != oldRung || len(sess.current) != len(oldAlloc) {
+		return true
+	}
+	for i := range oldAlloc {
+		if sess.current[i] != oldAlloc[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // Service is the partitioning daemon's core: a session table behind
@@ -283,13 +322,45 @@ type Service struct {
 	mu       sync.Mutex
 	opts     Options
 	sessions map[string]*session
-	order    []string // insertion order: the deterministic iteration order
-	rr       int      // rotating tick start index (fairness under deadline pressure)
-	tick     uint64
-	draining bool
+	// order is the insertion order: the deterministic iteration order.
+	// It only ever grows in newSession (behind the MaxSessions admission
+	// check) and is rebuilt verbatim by Restore (which validates it
+	// entry-for-entry against Sessions), so its length is always exactly
+	// len(sessions) and never exceeds maxSessions(); sessions are never
+	// evicted, so there is no delete path to leak through.
+	// TestOrderNeverLeaksEntries audits the invariant.
+	order []string
+	rr    int // rotating tick start index (fairness under deadline pressure)
+	tick  uint64
+	// draining is atomic so Draining() — polled by /healthz and /readyz
+	// on every probe — never contends with ingest/tick on the session
+	// lock.
+	draining atomic.Bool
 	stats    Stats
 	lat      latRing
 }
+
+// Backend is the surface the HTTP server, the daemon, and the load
+// harness program against: both the single-lock Service and the
+// Sharded fan-out implement it, so every layer above is shard-blind.
+type Backend interface {
+	Ingest(Batch) IngestReply
+	CountWireReject()
+	Tick(budget time.Duration) []Decision
+	Allocation(app string) (Allocation, bool)
+	AllocationWatch(ctx context.Context, app string, sinceEpoch uint64) (Allocation, error)
+	Apps() []string
+	SnapshotStats() Stats
+	StartDraining()
+	Draining() bool
+	SaveCheckpoint(path string) error
+	LoadCheckpoint(path string) error
+}
+
+var (
+	_ Backend = (*Service)(nil)
+	_ Backend = (*Sharded)(nil)
+)
 
 // New builds an empty service.
 func New(opts Options) *Service {
@@ -314,16 +385,13 @@ func (s *Service) now() time.Time {
 // samples can be flushed before the final checkpoint if the owner
 // wants; Draining reports the state for health endpoints.
 func (s *Service) StartDraining() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.draining = true
+	s.draining.Store(true)
 }
 
-// Draining reports whether StartDraining has been called.
+// Draining reports whether StartDraining has been called. Lock-free:
+// health probes hammer this and must not contend with ingest/tick.
 func (s *Service) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
+	return s.draining.Load()
 }
 
 // validateBatch returns a rejection kind and reason for a structurally
@@ -358,7 +426,7 @@ func (s *Service) Ingest(b Batch) IngestReply {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	if s.draining {
+	if s.draining.Load() {
 		s.stats.BatchesRejected++
 		s.stats.RejectedDraining++
 		return IngestReply{Rejected: RejectDraining, Reason: "service is shutting down"}
@@ -439,6 +507,8 @@ func (s *Service) newSession(app string, threads, ways int) *session {
 		rts:      rts,
 		current:  equalSplit(ways, threads),
 		lastRung: core.HealthModel.String(),
+		epoch:    1,
+		watch:    make(chan struct{}),
 	}
 	s.sessions[app] = sess
 	s.order = append(s.order, app)
@@ -506,7 +576,12 @@ func (s *Service) Tick(budget time.Duration) []Decision {
 // allocation, untouched engine. Caller holds the lock and has already
 // counted the trigger.
 func (s *Service) serveLastGood(sess *session) Decision {
-	sess.lastRung = RungLastGood
+	if sess.lastRung != RungLastGood {
+		// The allocation is by definition unchanged, but the rung is
+		// client-observable state: the first last-good in a row bumps.
+		sess.lastRung = RungLastGood
+		sess.bumpEpoch()
+	}
 	sess.lastTick = s.tick
 	s.stats.Decisions++
 	return Decision{
@@ -515,6 +590,7 @@ func (s *Service) serveLastGood(sess *session) Decision {
 		Interval: sess.interval,
 		Alloc:    append([]int(nil), sess.current...),
 		Rung:     RungLastGood,
+		Epoch:    sess.epoch,
 	}
 }
 
@@ -527,6 +603,8 @@ func (s *Service) process(sess *session) Decision {
 	if k > len(sess.queue) {
 		k = len(sess.queue)
 	}
+	oldRung := sess.lastRung
+	oldAlloc := append([]int(nil), sess.current...)
 	mon := monitors{ways: sess.ways, threads: sess.threads}
 	for j := 0; j < k; j++ {
 		iv := sim.IntervalStats{Index: sess.interval,
@@ -557,6 +635,9 @@ func (s *Service) process(sess *session) Decision {
 	s.lat.add(lat)
 	sess.lastRung = rung
 	sess.lastTick = s.tick
+	if sess.allocChanged(oldRung, oldAlloc) {
+		sess.bumpEpoch()
+	}
 	s.stats.Decisions++
 	return Decision{
 		App:      sess.app,
@@ -565,6 +646,7 @@ func (s *Service) process(sess *session) Decision {
 		Samples:  k,
 		Alloc:    append([]int(nil), sess.current...),
 		Rung:     rung,
+		Epoch:    sess.epoch,
 		Latency:  lat,
 	}
 }
@@ -580,6 +662,24 @@ type Allocation struct {
 	Tick     uint64 // tick of the last decision for this session
 	Interval int    // processed-sample count
 	Queued   int    // samples waiting for the next tick
+	// Epoch is the allocation epoch: it advances only when a decision
+	// changes the allocation or the rung. Watch clients pass it back as
+	// ?epoch= to long-poll for the next change.
+	Epoch uint64
+}
+
+func (sess *session) allocation() Allocation {
+	return Allocation{
+		App:      sess.app,
+		Threads:  sess.threads,
+		Ways:     sess.ways,
+		Alloc:    append([]int(nil), sess.current...),
+		Rung:     sess.lastRung,
+		Tick:     sess.lastTick,
+		Interval: sess.interval,
+		Queued:   len(sess.queue),
+		Epoch:    sess.epoch,
+	}
 }
 
 // Allocation returns the named session's current allocation.
@@ -590,16 +690,42 @@ func (s *Service) Allocation(app string) (Allocation, bool) {
 	if !ok {
 		return Allocation{}, false
 	}
-	return Allocation{
-		App:      sess.app,
-		Threads:  sess.threads,
-		Ways:     sess.ways,
-		Alloc:    append([]int(nil), sess.current...),
-		Rung:     sess.lastRung,
-		Tick:     sess.lastTick,
-		Interval: sess.interval,
-		Queued:   len(sess.queue),
-	}, true
+	return sess.allocation(), true
+}
+
+// ErrUnknownApp is returned by AllocationWatch for a session that does
+// not exist.
+var ErrUnknownApp = errors.New("service: unknown application")
+
+// AllocationWatch is the allocation push path: it returns the named
+// session's allocation as soon as its epoch exceeds sinceEpoch —
+// immediately if it already does, otherwise blocking until a decision
+// changes the allocation or the rung. Passing sinceEpoch 0 always
+// returns immediately (epochs start at 1). On ctx expiry the context's
+// error is returned and the caller re-polls; millions of clients can
+// park here without ever touching the session lock between changes.
+func (s *Service) AllocationWatch(ctx context.Context, app string, sinceEpoch uint64) (Allocation, error) {
+	for {
+		s.mu.Lock()
+		sess, ok := s.sessions[app]
+		if !ok {
+			s.mu.Unlock()
+			return Allocation{}, ErrUnknownApp
+		}
+		if sess.epoch > sinceEpoch {
+			alloc := sess.allocation()
+			s.mu.Unlock()
+			return alloc, nil
+		}
+		ch := sess.watch
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Allocation{}, ctx.Err()
+		case <-ch:
+			// Epoch bumped; loop to re-read under the lock.
+		}
+	}
 }
 
 // Apps returns the session ids in insertion order.
@@ -625,6 +751,14 @@ func (s *Service) SnapshotStats() Stats {
 	}
 	st.LatencyP50, st.LatencyP99, st.LatencySamples = s.lat.percentiles()
 	return st
+}
+
+// latencySeconds copies out the recent-latency ring so Sharded can
+// compute percentiles over all shards' rings merged.
+func (s *Service) latencySeconds() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.lat.buf[:s.lat.n]...)
 }
 
 // monitors adapts a session's fixed shape to sim.Monitors. The service

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
 	"testing"
 	"time"
@@ -295,6 +297,162 @@ func TestStateRoundTripPreservesCounters(t *testing.T) {
 	b.LatencyP50, b.LatencyP99, b.LatencySamples = 0, 0, 0
 	if a != b {
 		t.Fatalf("stats diverged across restore:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestOrderNeverLeaksEntries audits the insertion-order slice's growth
+// bound: order only grows behind the MaxSessions admission check,
+// sessions are never evicted, and restore rebuilds it validated
+// entry-for-entry — so len(order) == len(sessions) ≤ MaxSessions holds
+// through admission, rejection, mismatch, restart, and repeated
+// batches to existing sessions.
+func TestOrderNeverLeaksEntries(t *testing.T) {
+	const cap = 8
+	svc := New(Options{MaxSessions: cap})
+	check := func(label string) {
+		t.Helper()
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		if len(svc.order) != len(svc.sessions) {
+			t.Fatalf("%s: order has %d entries for %d sessions", label, len(svc.order), len(svc.sessions))
+		}
+		if len(svc.order) > cap {
+			t.Fatalf("%s: order grew past MaxSessions: %d > %d", label, len(svc.order), cap)
+		}
+		seen := make(map[string]bool)
+		for _, app := range svc.order {
+			if seen[app] {
+				t.Fatalf("%s: duplicate order entry %q", label, app)
+			}
+			seen[app] = true
+			if svc.sessions[app] == nil {
+				t.Fatalf("%s: order entry %q has no session", label, app)
+			}
+		}
+	}
+	// Fill to the cap, then hammer it: over-cap admissions, repeated
+	// batches to existing apps, shape mismatches, malformed batches.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2*cap; i++ {
+			svc.Ingest(mkBatch(fmt.Sprintf("app-%02d", i), 2, 8, 1, uint64(round*100+i)))
+		}
+		svc.Ingest(mkBatch("app-00", 4, 8, 1, 0)) // mismatch
+		svc.Ingest(mkBatch("", 2, 8, 1, 0))       // malformed
+		svc.Tick(0)
+		check(fmt.Sprintf("round %d", round))
+	}
+	// And across a checkpoint restart.
+	path := filepath.Join(t.TempDir(), "order.ckpt")
+	if err := svc.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	svc = New(Options{MaxSessions: cap})
+	if err := svc.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	check("after restore")
+	if st := svc.SnapshotStats(); st.Sessions != cap {
+		t.Fatalf("sessions=%d, want the cap %d", st.Sessions, cap)
+	}
+}
+
+// TestEpochBumpsOnlyOnChange pins the watch contract: the epoch starts
+// at 1, advances when a decision changes the allocation or the rung,
+// and stays put when a decision changes nothing a client can observe
+// (consecutive last-good decisions).
+func TestEpochBumpsOnlyOnChange(t *testing.T) {
+	svc := New(Options{QueueCap: 64, PressureHighWater: 4, MaxSamplesPerTick: 2})
+	svc.Ingest(mkBatch("a", 2, 8, 1, 0))
+	alloc, _ := svc.Allocation("a")
+	if alloc.Epoch != 1 {
+		t.Fatalf("creation epoch=%d, want 1", alloc.Epoch)
+	}
+
+	// Force the pressure rung twice in a row: the first last-good is a
+	// rung change (bump), the second changes nothing (no bump).
+	svc.Ingest(mkBatch("a", 2, 8, 8, 10))
+	d1 := svc.Tick(0)[0]
+	if d1.Rung != RungLastGood {
+		t.Fatalf("first pressure tick rung=%q", d1.Rung)
+	}
+	svc.Ingest(mkBatch("a", 2, 8, 8, 20))
+	d2 := svc.Tick(0)[0]
+	if d2.Rung != RungLastGood {
+		t.Fatalf("second pressure tick rung=%q", d2.Rung)
+	}
+	if d1.Epoch != 2 || d2.Epoch != 2 {
+		t.Fatalf("last-good epochs %d, %d: want one bump to 2, then hold", d1.Epoch, d2.Epoch)
+	}
+	// Recovery to the engine chain is a rung change again.
+	d3 := svc.Tick(0)[0]
+	if d3.Rung == RungLastGood || d3.Epoch != 3 {
+		t.Fatalf("recovery decision %+v, want engine rung at epoch 3", d3)
+	}
+	// Epoch survives a checkpoint round trip.
+	path := filepath.Join(t.TempDir(), "epoch.ckpt")
+	if err := svc.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Options{})
+	if err := fresh.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	alloc, _ = fresh.Allocation("a")
+	if alloc.Epoch != d3.Epoch {
+		t.Fatalf("restored epoch=%d, want %d", alloc.Epoch, d3.Epoch)
+	}
+}
+
+// TestAllocationWatch pins the long-poll path: immediate answer when
+// the epoch already moved, blocking wake-up on the next change, ctx
+// expiry with no change, and unknown apps.
+func TestAllocationWatch(t *testing.T) {
+	svc := New(Options{})
+	if _, err := svc.AllocationWatch(context.Background(), "ghost", 0); err != ErrUnknownApp {
+		t.Fatalf("unknown app: %v", err)
+	}
+	svc.Ingest(mkBatch("a", 2, 8, 2, 0))
+
+	// sinceEpoch 0 < creation epoch 1: immediate.
+	alloc, err := svc.AllocationWatch(context.Background(), "a", 0)
+	if err != nil || alloc.Epoch != 1 {
+		t.Fatalf("immediate watch: %+v, %v", alloc, err)
+	}
+
+	// Parked watcher wakes when a tick changes the allocation.
+	type res struct {
+		alloc Allocation
+		err   error
+	}
+	got := make(chan res, 1)
+	go func() {
+		a, err := svc.AllocationWatch(context.Background(), "a", 1)
+		got <- res{a, err}
+	}()
+	// The watcher must be parked, not spinning on the lock: give it a
+	// moment to register, then decide.
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case r := <-got:
+		t.Fatalf("watch returned before any change: %+v", r)
+	default:
+	}
+	svc.Tick(0)
+	select {
+	case r := <-got:
+		if r.err != nil || r.alloc.Epoch < 2 {
+			t.Fatalf("woken watch: %+v, %v", r.alloc, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never woke after an allocation change")
+	}
+
+	// ctx expiry with no change returns the context error.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	cur, _ := svc.Allocation("a")
+	if _, err := svc.AllocationWatch(ctx, "a", cur.Epoch); err != context.DeadlineExceeded {
+		t.Fatalf("expired watch: %v", err)
 	}
 }
 

@@ -38,6 +38,10 @@ type SessionState struct {
 	Interval int
 	LastRung string
 	LastTick uint64
+	// Epoch is the allocation epoch watchers long-poll on. Absent in
+	// pre-watch checkpoints (gob leaves it zero); Restore clamps it to
+	// the creation value 1 so watch semantics hold after an upgrade.
+	Epoch uint64
 
 	DroppedOldest   uint64
 	DroppedPressure uint64
@@ -55,7 +59,7 @@ func (s *Service) State() (State, error) {
 	st := State{
 		Tick:     s.tick,
 		RR:       s.rr,
-		Draining: s.draining,
+		Draining: s.draining.Load(),
 		Order:    append([]string(nil), s.order...),
 		Stats:    s.stats,
 	}
@@ -73,6 +77,7 @@ func (s *Service) State() (State, error) {
 			Interval:        sess.interval,
 			LastRung:        sess.lastRung,
 			LastTick:        sess.lastTick,
+			Epoch:           sess.epoch,
 			DroppedOldest:   sess.droppedOldest,
 			DroppedPressure: sess.droppedPressure,
 			Mismatches:      sess.mismatches,
@@ -131,9 +136,14 @@ func (s *Service) Restore(st State) error {
 			interval:        ss.Interval,
 			lastRung:        ss.LastRung,
 			lastTick:        ss.LastTick,
+			epoch:           ss.Epoch,
+			watch:           make(chan struct{}),
 			droppedOldest:   ss.DroppedOldest,
 			droppedPressure: ss.DroppedPressure,
 			mismatches:      ss.Mismatches,
+		}
+		if sess.epoch == 0 {
+			sess.epoch = 1 // pre-watch checkpoint: creation epoch
 		}
 		for _, smp := range ss.Queue {
 			cp := smp
@@ -146,7 +156,7 @@ func (s *Service) Restore(st State) error {
 	s.order = append([]string(nil), st.Order...)
 	s.tick = st.Tick
 	s.rr = st.RR
-	s.draining = st.Draining
+	s.draining.Store(st.Draining)
 	s.stats = st.Stats
 	s.stats.Sessions = len(sessions)
 	return nil
