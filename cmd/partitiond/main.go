@@ -208,8 +208,11 @@ func serve(listen string, opts service.Options, shards, tickWorkers int, tick, d
 	}
 
 	// Drain: refuse new batches (healthz flips to 503 so load balancers
-	// stop sending), finish in-flight requests, flush queued samples
-	// through one final unbounded tick, checkpoint, exit.
+	// stop sending), wake every parked /alloc?watch=1 long-poll with an
+	// immediate 204 (StartDraining closes the watch drain channel, so
+	// Shutdown never waits out idle poll windows), finish in-flight
+	// requests, flush queued samples through one final unbounded tick,
+	// checkpoint, exit.
 	svc.StartDraining()
 	go func() {
 		<-sigs

@@ -185,8 +185,11 @@ func TestServeShardedDrainAndRestart(t *testing.T) {
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("drain wrote no manifest: %v", err)
 	}
+	// The drain's save is the manifest's first generation, so shard
+	// files carry the .g1 stamp (each save writes a fresh generation and
+	// GCs the old one only after the manifest commits).
 	own := service.ShardIndex("web-01", 4)
-	if _, err := os.Stat(fmt.Sprintf("%s.shard%d", ckpt, own)); err != nil {
+	if _, err := os.Stat(fmt.Sprintf("%s.g1.shard%d", ckpt, own)); err != nil {
 		t.Fatalf("drain wrote no shard file for the session's shard: %v", err)
 	}
 	wrong := service.NewSharded(service.Options{}, 2, 1)

@@ -62,7 +62,9 @@ const maxBodyBytes = 8 << 20
 // open instead of polling, passes back the Epoch from each response,
 // and is answered the moment a decision actually changes its
 // allocation or rung. A 204 means "no change within the poll window;
-// ask again with the same epoch".
+// ask again with the same epoch" — it is also what every parked
+// watcher receives the instant a drain starts, so graceful shutdown
+// never waits out idle long-polls.
 type Server struct {
 	svc   Backend
 	mux   *http.ServeMux
@@ -139,8 +141,9 @@ func writeSealed(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // Watch long-poll bounds: a request may ask for a shorter window via
-// ?timeout=, but never a longer one — the cap keeps a drain from
-// waiting a full minute on parked watchers.
+// ?timeout=, but never a longer one — the cap bounds how long one idle
+// connection can sit parked. (A drain does not wait for these windows:
+// StartDraining wakes every parked watcher immediately.)
 const (
 	defaultWatchWait = 30 * time.Second
 	maxWatchWait     = 60 * time.Second
@@ -194,6 +197,11 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, alloc)
 	case errors.Is(werr, ErrUnknownApp):
 		http.Error(w, "unknown application", http.StatusNotFound)
+	case errors.Is(werr, ErrDraining):
+		// Drain started: the watcher is woken immediately (instead of
+		// stalling shutdown for its whole poll window) and told to
+		// re-poll — its load balancer will route the retry elsewhere.
+		w.WriteHeader(http.StatusNoContent)
 	default:
 		// Poll window expired (or the client went away) with no change:
 		// 204 tells the client to re-poll with the same epoch.

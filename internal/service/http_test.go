@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -201,6 +202,28 @@ func TestHTTPAllocWatch(t *testing.T) {
 	}
 	if code, _ := get(hs.URL + "/alloc?app=web-01&watch=1&epoch=1&timeout=banana"); code != http.StatusBadRequest {
 		t.Fatalf("bad timeout: code=%d, want 400", code)
+	}
+
+	// A parked watcher is answered 204 the instant a drain starts — it
+	// must not sit out its whole poll window and stall Shutdown.
+	cur, _ := svc.Allocation("web-01")
+	go func() {
+		c, a := get(fmt.Sprintf("%s/alloc?app=web-01&watch=1&epoch=%d&timeout=30s", hs.URL, cur.Epoch))
+		got <- res{c, a}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the watcher park
+	start := time.Now()
+	svc.StartDraining()
+	select {
+	case r := <-got:
+		if r.code != http.StatusNoContent {
+			t.Fatalf("drained watch: code=%d, want 204", r.code)
+		}
+		if since := time.Since(start); since > 2*time.Second {
+			t.Fatalf("drained watch took %v, want immediate", since)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("HTTP watcher never woke on drain")
 	}
 }
 

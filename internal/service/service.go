@@ -334,8 +334,11 @@ type Service struct {
 	tick  uint64
 	// draining is atomic so Draining() — polled by /healthz and /readyz
 	// on every probe — never contends with ingest/tick on the session
-	// lock.
+	// lock. drain is closed exactly once when draining flips, waking
+	// every parked AllocationWatch so a graceful shutdown never waits
+	// out idle long-polls.
 	draining atomic.Bool
+	drain    chan struct{}
 	stats    Stats
 	lat      latRing
 }
@@ -364,7 +367,7 @@ var (
 
 // New builds an empty service.
 func New(opts Options) *Service {
-	return &Service{opts: opts, sessions: make(map[string]*session)}
+	return &Service{opts: opts, sessions: make(map[string]*session), drain: make(chan struct{})}
 }
 
 func (s *Service) logf(format string, args ...interface{}) {
@@ -381,11 +384,15 @@ func (s *Service) now() time.Time {
 }
 
 // StartDraining flips the service into shutdown mode: every subsequent
-// batch is rejected with RejectDraining. Ticks still run, so queued
-// samples can be flushed before the final checkpoint if the owner
-// wants; Draining reports the state for health endpoints.
+// batch is rejected with RejectDraining, and every parked
+// AllocationWatch is woken with ErrDraining so the HTTP server's
+// graceful shutdown never blocks on idle long-polls. Ticks still run,
+// so queued samples can be flushed before the final checkpoint if the
+// owner wants; Draining reports the state for health endpoints.
 func (s *Service) StartDraining() {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drain)
+	}
 }
 
 // Draining reports whether StartDraining has been called. Lock-free:
@@ -697,6 +704,13 @@ func (s *Service) Allocation(app string) (Allocation, bool) {
 // not exist.
 var ErrUnknownApp = errors.New("service: unknown application")
 
+// ErrDraining is returned by AllocationWatch when the service starts
+// (or already is) draining and no newer allocation exists to report:
+// the daemon is going away, so parking a watcher would only stall its
+// shutdown. The HTTP layer maps it to 204, telling the client to
+// re-poll — against whatever replica its load balancer sends it to.
+var ErrDraining = errors.New("service: draining")
+
 // AllocationWatch is the allocation push path: it returns the named
 // session's allocation as soon as its epoch exceeds sinceEpoch —
 // immediately if it already does, otherwise blocking until a decision
@@ -704,6 +718,8 @@ var ErrUnknownApp = errors.New("service: unknown application")
 // returns immediately (epochs start at 1). On ctx expiry the context's
 // error is returned and the caller re-polls; millions of clients can
 // park here without ever touching the session lock between changes.
+// When the service starts draining, every parked watcher is woken with
+// ErrDraining instead of waiting out its poll window.
 func (s *Service) AllocationWatch(ctx context.Context, app string, sinceEpoch uint64) (Allocation, error) {
 	for {
 		s.mu.Lock()
@@ -722,6 +738,8 @@ func (s *Service) AllocationWatch(ctx context.Context, app string, sinceEpoch ui
 		select {
 		case <-ctx.Done():
 			return Allocation{}, ctx.Err()
+		case <-s.drain:
+			return Allocation{}, ErrDraining
 		case <-ch:
 			// Epoch bumped; loop to re-read under the lock.
 		}
@@ -751,6 +769,15 @@ func (s *Service) SnapshotStats() Stats {
 	}
 	st.LatencyP50, st.LatencyP99, st.LatencySamples = s.lat.percentiles()
 	return st
+}
+
+// tickCount returns the service-local tick counter. The sharded
+// restore cross-checks it across shards to refuse a torn set of shard
+// files (each individually valid, but cut at different ticks).
+func (s *Service) tickCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tick
 }
 
 // latencySeconds copies out the recent-latency ring so Sharded can

@@ -456,6 +456,45 @@ func TestAllocationWatch(t *testing.T) {
 	}
 }
 
+// TestAllocationWatchWakesOnDrain pins the shutdown path: a parked
+// watcher is woken with ErrDraining the instant StartDraining runs —
+// graceful drains must never wait out idle long-poll windows — and a
+// watch arriving after the drain started returns immediately too.
+func TestAllocationWatchWakesOnDrain(t *testing.T) {
+	svc := New(Options{})
+	svc.Ingest(mkBatch("a", 2, 8, 2, 0))
+	svc.Tick(0)
+	cur, _ := svc.Allocation("a")
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := svc.AllocationWatch(context.Background(), "a", cur.Epoch)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the watcher park
+	svc.StartDraining()
+	select {
+	case err := <-got:
+		if err != ErrDraining {
+			t.Fatalf("drained watch: %v, want ErrDraining", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked watcher never woke on drain")
+	}
+
+	// A watch arriving mid-drain does not park either.
+	if _, err := svc.AllocationWatch(context.Background(), "a", cur.Epoch); err != ErrDraining {
+		t.Fatalf("watch during drain: %v, want ErrDraining", err)
+	}
+	// But one whose epoch already moved still gets its answer: drain
+	// only suppresses parking, never a ready result.
+	if alloc, err := svc.AllocationWatch(context.Background(), "a", 0); err != nil || alloc.App != "a" {
+		t.Fatalf("satisfiable watch during drain: %+v, %v", alloc, err)
+	}
+	// Idempotent (the drain channel must close exactly once).
+	svc.StartDraining()
+}
+
 func TestCountWireReject(t *testing.T) {
 	svc := New(Options{})
 	svc.CountWireReject()

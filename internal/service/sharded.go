@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -217,30 +219,50 @@ func (sh *Sharded) SnapshotStats() Stats {
 		out.InvalidAssignments += st.InvalidAssignments
 		lats = append(lats, shard.latencySeconds()...)
 	}
-	var merged latRing
-	for _, v := range lats {
-		merged.add(time.Duration(v * float64(time.Second)))
+	// Percentiles directly over the concatenated samples: funneling N
+	// shards' rings through one latRingCap-bounded ring would silently
+	// drop earlier shards' samples and bias the result toward the
+	// highest-index shards.
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		out.LatencyP50 = time.Duration(percentile(lats, 50) * float64(time.Second))
+		out.LatencyP99 = time.Duration(percentile(lats, 99) * float64(time.Second))
+		out.LatencySamples = len(lats)
 	}
-	out.LatencyP50, out.LatencyP99, out.LatencySamples = merged.percentiles()
 	return out
 }
 
 // Per-shard checkpoints: SaveCheckpoint writes one consistent cut per
-// shard (path.shard<i>, each in the standard CRC64 envelope via the
-// atomic-rename writer) concurrently, then commits a manifest at path
-// naming them. The manifest stamps the shard count; LoadCheckpoint
-// refuses a count mismatch outright — like experiment.ShardedRun's
-// refusal — because restoring N-hashed sessions into M shards would
-// silently re-home every session. Cross-shard consistency needs no
-// global cut: a session lives entirely inside one shard, so per-shard
-// cuts compose. The owner must not tick between the per-shard captures
-// if it wants all shards cut at the same tick (partitiond checkpoints
-// from its ticker goroutine, between ticks, so it gets that for free).
+// shard (each in the standard CRC64 envelope via the atomic-rename
+// writer) concurrently under fresh generation-stamped names
+// (path.g<gen>.shard<i>), then commits by atomically replacing the
+// manifest at path and garbage-collecting the previous generation. No
+// file a committed manifest references is ever overwritten in place,
+// so a crash at any point mid-save leaves the previous manifest
+// naming its previous, complete, same-tick set — that is the whole
+// crash-atomicity argument, and it is why the generation stamp exists.
+// The manifest stamps the shard count; LoadCheckpoint refuses a count
+// mismatch outright — like experiment.ShardedRun's refusal — because
+// restoring N-hashed sessions into M shards would silently re-home
+// every session, and additionally cross-checks every shard's tick
+// counter so a hand-assembled torn set is refused too. Cross-shard
+// consistency needs no global cut: a session lives entirely inside
+// one shard, so per-shard cuts compose. The owner must not tick
+// between the per-shard captures if it wants all shards cut at the
+// same tick (partitiond checkpoints from its ticker goroutine,
+// between ticks, so it gets that for free).
 type shardManifest struct {
 	Magic   string
 	Version int
 	Shards  int
-	Files   []string // base names, relative to the manifest's directory
+	// Gen is the save generation: each SaveCheckpoint writes its shard
+	// files under names stamped with the next generation and only then
+	// commits this manifest, so the previous generation's files stay
+	// untouched until the new set is fully durable. Zero in manifests
+	// written before generations existed (their files used the legacy
+	// path.shard<i> names — still restorable via Files).
+	Gen   uint64
+	Files []string // base names, relative to the manifest's directory
 }
 
 const (
@@ -248,21 +270,41 @@ const (
 	shardManifestVersion = 1
 )
 
-// shardPath names shard i's checkpoint file for a manifest at path.
-func shardPath(path string, i int) string {
-	return fmt.Sprintf("%s.shard%d", path, i)
+// shardPath names shard i's checkpoint file for generation gen of a
+// manifest at path.
+func shardPath(path string, gen uint64, i int) string {
+	return fmt.Sprintf("%s.g%d.shard%d", path, gen, i)
 }
 
-// SaveCheckpoint captures every shard concurrently into path.shard<i>
-// and then atomically writes the manifest at path. The manifest is
-// written last so a crash mid-save leaves the previous manifest (and
-// its shard files) intact and consistent. A single-shard service
-// writes the plain pre-shard format instead — -shards 1 stays file-
-// compatible with PR 7 daemons in both directions.
+// SaveCheckpoint captures every shard concurrently into a fresh
+// generation of shard files, then commits them by atomically writing
+// the manifest at path; only after the commit is the prior
+// generation deleted. A crash anywhere mid-save therefore leaves the
+// previous manifest and its complete shard set intact — at worst plus
+// some unreferenced new-generation files the next save will reuse or
+// the operator can delete. A single-shard service writes the plain
+// pre-shard format instead — -shards 1 stays file-compatible with
+// PR 7 daemons in both directions.
 func (sh *Sharded) SaveCheckpoint(path string) error {
 	n := len(sh.shards)
 	if n == 1 {
 		return sh.shards[0].SaveCheckpoint(path)
+	}
+	// The committed manifest (when one is readable) dictates the next
+	// generation and the files to garbage-collect after commit. An
+	// absent or unreadable manifest means there is no committed set to
+	// protect, so generation 1's names are free to (re)use.
+	gen := uint64(1)
+	var prevFiles []string
+	var prev shardManifest
+	if err := checkpoint.LoadGob(path, &prev); err == nil && prev.Magic == shardManifestMagic {
+		gen = prev.Gen + 1
+		prevFiles = prev.Files
+	}
+	dir := filepath.Dir(path)
+	files := make([]string, n)
+	for i := range files {
+		files[i] = filepath.Base(shardPath(path, gen, i))
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -270,7 +312,7 @@ func (sh *Sharded) SaveCheckpoint(path string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = sh.shards[i].SaveCheckpoint(shardPath(path, i))
+			errs[i] = sh.shards[i].SaveCheckpoint(filepath.Join(dir, files[i]))
 		}(i)
 	}
 	wg.Wait()
@@ -279,11 +321,22 @@ func (sh *Sharded) SaveCheckpoint(path string) error {
 			return fmt.Errorf("service: checkpointing shard %d/%d: %w", i, n, err)
 		}
 	}
-	m := shardManifest{Magic: shardManifestMagic, Version: shardManifestVersion, Shards: n}
-	for i := 0; i < n; i++ {
-		m.Files = append(m.Files, filepath.Base(shardPath(path, i)))
+	m := shardManifest{Magic: shardManifestMagic, Version: shardManifestVersion, Shards: n, Gen: gen, Files: files}
+	if err := checkpoint.SaveGob(path, &m); err != nil {
+		return err
 	}
-	return checkpoint.SaveGob(path, &m)
+	// Commit point passed: the prior generation is unreferenced. GC is
+	// best-effort — a leftover file is disk noise, never restored state.
+	keep := make(map[string]bool, n)
+	for _, f := range files {
+		keep[f] = true
+	}
+	for _, f := range prevFiles {
+		if !keep[f] {
+			os.Remove(filepath.Join(dir, f))
+		}
+	}
+	return nil
 }
 
 // LoadCheckpoint restores a SaveCheckpoint manifest into an empty
@@ -294,7 +347,9 @@ func (sh *Sharded) SaveCheckpoint(path string) error {
 // other count it is refused with the same guidance. After restore,
 // every session's ownership is re-verified against ShardIndex, so a
 // hand-mixed set of shard files cannot smuggle a session into a shard
-// that would never route its ingest.
+// that would never route its ingest, and every shard's tick counter is
+// cross-checked against shard 0's, so a torn set — files individually
+// valid but cut at different ticks — is refused, not served.
 func (sh *Sharded) LoadCheckpoint(path string) error {
 	n := len(sh.shards)
 	var m shardManifest
@@ -346,6 +401,18 @@ func (sh *Sharded) LoadCheckpoint(path string) error {
 			if own := ShardIndex(app, n); own != i {
 				return fmt.Errorf("service: restored session %q into shard %d but it hashes to shard %d", app, i, own)
 			}
+		}
+	}
+	// A committed manifest only ever names one generation's files, but
+	// defend against a hand-assembled mix anyway: every shard must have
+	// been cut at the same tick, or the restored service would break
+	// the all-shards-same-tick invariant the determinism contract (and
+	// Stats.Ticks) relies on — each file individually valid and
+	// owner-consistent, yet the set torn.
+	want := sh.shards[0].tickCount()
+	for i, shard := range sh.shards[1:] {
+		if got := shard.tickCount(); got != want {
+			return fmt.Errorf("service: torn checkpoint: shard %d was cut at tick %d, shard 0 at tick %d", i+1, got, want)
 		}
 	}
 	if sh.shards[0].Draining() {

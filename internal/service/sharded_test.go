@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"intracache/internal/checkpoint"
 )
 
 // TestShardIndexGoldens pins the app→shard hash to fixed values: the
@@ -198,7 +200,8 @@ func TestShardedRestoreVerifiesOwnership(t *testing.T) {
 	}
 	// The script populates shards 1, 2, and 3 (see the goldens); swap
 	// two populated shard files so sessions land in foreign shards.
-	a, b := shardPath(path, 1), shardPath(path, 2)
+	// (The first save of a manifest is generation 1.)
+	a, b := shardPath(path, 1, 1), shardPath(path, 1, 2)
 	tmp := filepath.Join(dir, "tmp")
 	for _, mv := range [][2]string{{a, tmp}, {b, a}, {tmp, b}} {
 		if err := os.Rename(mv[0], mv[1]); err != nil {
@@ -208,6 +211,142 @@ func TestShardedRestoreVerifiesOwnership(t *testing.T) {
 	err := NewSharded(Options{}, 4, 1).LoadCheckpoint(path)
 	if err == nil || !strings.Contains(err.Error(), "hashes to shard") {
 		t.Fatalf("swapped shard files restored: %v", err)
+	}
+}
+
+// TestShardedCheckpointGenerations: each save writes a fresh
+// generation of shard files and garbage-collects the previous
+// generation only after the new manifest has committed, so no file a
+// committed manifest references is ever overwritten in place.
+func TestShardedCheckpointGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sh.ckpt")
+	src := NewSharded(Options{}, 4, 2)
+	scriptBackend(t, src, 0, "", nil)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(shardPath(path, 1, i)); err != nil {
+			t.Fatalf("gen-1 shard file %d missing after first save: %v", i, err)
+		}
+	}
+	src.Tick(0)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(shardPath(path, 2, i)); err != nil {
+			t.Fatalf("gen-2 shard file %d missing after second save: %v", i, err)
+		}
+		if _, err := os.Stat(shardPath(path, 1, i)); !os.IsNotExist(err) {
+			t.Fatalf("gen-1 shard file %d not GCed after commit: %v", i, err)
+		}
+	}
+	dst := NewSharded(Options{}, 4, 2)
+	if err := dst.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.SnapshotStats().Ticks, src.SnapshotStats().Ticks; got != want {
+		t.Fatalf("restored ticks=%d, want %d", got, want)
+	}
+}
+
+// TestShardedCheckpointCrashMidSaveKeepsCommittedSet simulates a crash
+// between shard-file writes and the manifest commit: some
+// next-generation shard files land (cut at a later tick), the manifest
+// never does. Restore must read the committed generation's complete,
+// same-tick set — the stray files are unreferenced noise.
+func TestShardedCheckpointCrashMidSaveKeepsCommittedSet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sh.ckpt")
+	src := NewSharded(Options{}, 4, 1)
+	scriptBackend(t, src, 0, "", nil)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	wantTicks := src.SnapshotStats().Ticks
+	src.Tick(0)
+	for i := 0; i < 2; i++ {
+		if err := src.shards[i].SaveCheckpoint(shardPath(path, 2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := NewSharded(Options{}, 4, 1)
+	if err := dst.LoadCheckpoint(path); err != nil {
+		t.Fatalf("restore after simulated mid-save crash: %v", err)
+	}
+	if got := dst.SnapshotStats().Ticks; got != wantTicks {
+		t.Fatalf("restored ticks=%d, want committed generation's %d", got, wantTicks)
+	}
+}
+
+// TestShardedCheckpointTornSetRefused: a hand-assembled set mixing
+// shard files cut at different ticks — each individually valid and
+// owner-consistent — is refused by the restore's tick cross-check.
+func TestShardedCheckpointTornSetRefused(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.ckpt")
+	pathB := filepath.Join(dir, "b.ckpt")
+	src := NewSharded(Options{}, 4, 1)
+	scriptBackend(t, src, 0, "", nil)
+	if err := src.SaveCheckpoint(pathA); err != nil {
+		t.Fatal(err)
+	}
+	src.Tick(0)
+	if err := src.SaveCheckpoint(pathB); err != nil {
+		t.Fatal(err)
+	}
+	// Graft shard 1's file from the older cut into the newer set: same
+	// sessions, same owners, only the tick counters disagree.
+	data, err := os.ReadFile(shardPath(pathA, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shardPath(pathB, 1, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = NewSharded(Options{}, 4, 1).LoadCheckpoint(pathB)
+	if err == nil || !strings.Contains(err.Error(), "torn checkpoint") {
+		t.Fatalf("mixed-tick shard set restored: %v", err)
+	}
+}
+
+// TestShardedCheckpointLegacyManifest: a manifest written before
+// generation naming (files at path.shard<i>, no Gen field) still
+// restores, and the next save migrates to generation naming and GCs
+// the legacy files after its commit.
+func TestShardedCheckpointLegacyManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sh.ckpt")
+	src := NewSharded(Options{}, 4, 1)
+	scriptBackend(t, src, 0, "", nil)
+	var files []string
+	for i, shard := range src.shards {
+		name := fmt.Sprintf("%s.shard%d", path, i)
+		if err := shard.SaveCheckpoint(name); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, filepath.Base(name))
+	}
+	m := shardManifest{Magic: shardManifestMagic, Version: shardManifestVersion, Shards: 4, Files: files}
+	if err := checkpoint.SaveGob(path, &m); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSharded(Options{}, 4, 1)
+	if err := dst.LoadCheckpoint(path); err != nil {
+		t.Fatalf("legacy manifest restore: %v", err)
+	}
+	if err := dst.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Fatalf("legacy shard file %s not GCed after migrating save: %v", f, err)
+		}
+	}
+	if err := NewSharded(Options{}, 4, 1).LoadCheckpoint(path); err != nil {
+		t.Fatalf("restore after migration from legacy manifest: %v", err)
 	}
 }
 

@@ -156,7 +156,11 @@ func (s *Service) Restore(st State) error {
 	s.order = append([]string(nil), st.Order...)
 	s.tick = st.Tick
 	s.rr = st.RR
-	s.draining.Store(st.Draining)
+	if st.Draining {
+		// Through StartDraining so the drain channel closes too: a
+		// watcher arriving after a draining restore must not park.
+		s.StartDraining()
+	}
 	s.stats = st.Stats
 	s.stats.Sessions = len(sessions)
 	return nil
